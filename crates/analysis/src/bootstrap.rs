@@ -1,0 +1,336 @@
+//! Newcomer-bootstrapping dynamics (§III-B).
+//!
+//! The paper models bootstrapping as a discrete-time system: `x(t)`
+//! completely un-bootstrapped peers, `y(t)` partially bootstrapped peers
+//! (one encrypted, un-reciprocated piece — T-Chain only) and `n(t)` total
+//! peers. A BitTorrent-like protocol bootstraps via optimistic unchoking
+//! (probability δ per timeslot); T-Chain bootstraps whenever a chain's
+//! indirect reciprocity designates an un-bootstrapped payee.
+
+/// Piece-possession distribution of bootstrapped peers: `pm[m]` is the
+/// probability a bootstrapped peer holds `m` pieces (`m = 0..M-1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PieceDistribution {
+    pm: Vec<f64>,
+}
+
+impl PieceDistribution {
+    /// A distribution over `0..M-1` pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pm` is empty or does not sum to ~1.
+    pub fn new(pm: Vec<f64>) -> Self {
+        assert!(!pm.is_empty(), "distribution over at least one count");
+        let sum: f64 = pm.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "probabilities must sum to 1, got {sum}");
+        PieceDistribution { pm }
+    }
+
+    /// The uniform distribution `pm = 1/M` used throughout §III-B (e.g.
+    /// the ω′ ≈ 0.495 example with M = 100).
+    pub fn uniform(m_pieces: usize) -> Self {
+        assert!(m_pieces >= 1, "at least one piece");
+        PieceDistribution { pm: vec![1.0 / m_pieces as f64; m_pieces] }
+    }
+
+    /// Number of pieces `M`.
+    pub fn m(&self) -> usize {
+        self.pm.len()
+    }
+
+    /// ω′: probability that a peer already has the *single* piece of a
+    /// partially bootstrapped peer — `Σ pm · m / M` (§III-B2).
+    pub fn omega_prime(&self) -> f64 {
+        let m = self.m() as f64;
+        self.pm.iter().enumerate().map(|(i, p)| p * i as f64 / m).sum()
+    }
+
+    /// ω″ (eq. 4): probability that bootstrapped peer j needs *nothing*
+    /// from bootstrapped peer i, i.e. j's set contains i's set:
+    /// `Σ_j p_{mj} Σ_{i ≤ j} p_{mi} · C(mj, mi)/C(M, mi)`.
+    ///
+    /// For uniform `pm` and large `M` this is ≈ `ln(M)/M` (§III-B2).
+    pub fn omega_double_prime(&self) -> f64 {
+        let m = self.m();
+        // ln C(a, b) via ln-gamma sums (factorials overflow fast).
+        let ln_fact: Vec<f64> = {
+            let mut v = vec![0.0; m + 1];
+            for i in 1..=m {
+                v[i] = v[i - 1] + (i as f64).ln();
+            }
+            v
+        };
+        let ln_choose = |a: usize, b: usize| ln_fact[a] - ln_fact[b] - ln_fact[a - b];
+        let mut total = 0.0;
+        for (mj, &pj) in self.pm.iter().enumerate() {
+            if pj == 0.0 {
+                continue;
+            }
+            for (mi, &pi) in self.pm.iter().enumerate().take(mj + 1) {
+                if pi == 0.0 || mi == 0 {
+                    // An empty set is contained in anything, but the paper
+                    // sums from m = 1 (peers with zero pieces are counted
+                    // in x, not z).
+                    continue;
+                }
+                let term = (ln_choose(mj, mi) - ln_choose(m, mi)).exp();
+                total += pj * pi * term;
+            }
+        }
+        total
+    }
+}
+
+/// State of the §III-B dynamical system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapState {
+    /// Completely un-bootstrapped peers `x(t)`.
+    pub x: f64,
+    /// Partially bootstrapped peers `y(t)` (T-Chain only; 0 for BT).
+    pub y: f64,
+    /// Total peers `n(t)`.
+    pub n: f64,
+}
+
+impl BootstrapState {
+    /// Fully bootstrapped peers `z(t) = n − x − y`.
+    pub fn z(&self) -> f64 {
+        (self.n - self.x - self.y).max(0.0)
+    }
+
+    /// Fraction of peers not yet fully bootstrapped.
+    pub fn unbootstrapped_fraction(&self) -> f64 {
+        if self.n <= 0.0 {
+            0.0
+        } else {
+            (self.x + self.y) / self.n
+        }
+    }
+}
+
+/// Parameters shared by both §III-B models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapParams {
+    /// Newcomer arrival rate α (fraction of `n` per timeslot).
+    pub alpha: f64,
+    /// Departure rate β.
+    pub beta: f64,
+    /// BitTorrent's optimistic-unchoke probability δ (≈ 0.2: one of five
+    /// slots).
+    pub delta: f64,
+    /// Average chains per bootstrapped T-Chain peer per timeslot `K`.
+    pub k_chains: f64,
+}
+
+impl Default for BootstrapParams {
+    fn default() -> Self {
+        BootstrapParams { alpha: 0.0, beta: 0.0, delta: 0.2, k_chains: 2.0 }
+    }
+}
+
+/// One step of the BitTorrent-like model (§III-B1, eq. 1). Returns the
+/// next state; `y` stays 0 by construction.
+pub fn bt_step(s: BootstrapState, p: &BootstrapParams) -> BootstrapState {
+    let n = s.n;
+    let z = s.z();
+    let prob = bt_bootstrap_probability(n, z, p.delta);
+    let x_next = s.x * (1.0 - prob) * (1.0 - p.beta) + p.alpha * n;
+    let n_next = (1.0 - p.beta + p.alpha) * n;
+    BootstrapState { x: x_next.max(0.0), y: 0.0, n: n_next }
+}
+
+/// The §III-B1 per-timeslot probability that a given un-bootstrapped peer
+/// is bootstrapped: seeder pick + downloader optimistic unchokes, minus
+/// the double-count.
+pub fn bt_bootstrap_probability(n: f64, z: f64, delta: f64) -> f64 {
+    if n <= 1.0 {
+        return 1.0;
+    }
+    let seeder = 1.0 / n;
+    let not_picked_by_one = 1.0 - delta + delta * (n - 2.0) / (n - 1.0);
+    let downloaders = 1.0 - not_picked_by_one.powf(z.max(0.0));
+    (seeder + downloaders - downloaders * seeder).clamp(0.0, 1.0)
+}
+
+/// The T-Chain per-timeslot bootstrap probability (eq. 2), using the
+/// previous slot's fully bootstrapped count `z_prev` and the indirect-
+/// reciprocity probability ω (eq. 3).
+pub fn tchain_bootstrap_probability(
+    n: f64,
+    n_prev: f64,
+    z_prev: f64,
+    omega: f64,
+    k_chains: f64,
+) -> f64 {
+    if n <= 1.0 || n_prev <= 1.0 {
+        return 1.0;
+    }
+    let exponent = k_chains * omega * z_prev.max(0.0);
+    let p = 1.0 - ((n - 1.0) / n) * (((n - 2.0) / (n_prev - 1.0)).clamp(0.0, 1.0)).powf(exponent);
+    p.clamp(0.0, 1.0)
+}
+
+/// ω (eq. 3): the probability a bootstrapped peer's chain uses indirect
+/// reciprocity, so its payee choice can bootstrap someone.
+pub fn omega(prev: BootstrapState, omega_p: f64, omega_pp: f64) -> f64 {
+    if prev.n <= 1.0 {
+        return 0.0;
+    }
+    ((prev.x + omega_p * prev.y + omega_pp * (prev.z() - 1.0).max(0.0)) / (prev.n - 1.0))
+        .clamp(0.0, 1.0)
+}
+
+/// One step of the T-Chain model (§III-B2, eqs. 5–6).
+pub fn tchain_step(
+    s: BootstrapState,
+    prev: BootstrapState,
+    p: &BootstrapParams,
+    dist: &PieceDistribution,
+) -> BootstrapState {
+    let w = omega(prev, dist.omega_prime(), dist.omega_double_prime());
+    let prob = tchain_bootstrap_probability(s.n, prev.n, prev.z(), w, p.k_chains);
+    let x_next = p.alpha * s.n + s.x * (1.0 - p.beta) * (1.0 - prob);
+    let y_next = s.x * (1.0 - p.beta) * prob;
+    let n_next = (1.0 - p.beta + p.alpha) * s.n;
+    BootstrapState { x: x_next.max(0.0), y: y_next.max(0.0), n: n_next }
+}
+
+/// Iterates a model for `steps` slots, returning the trajectory of
+/// un-bootstrapped fractions `(x + y)/n` — the curves behind the §III-B3
+/// comparison.
+pub fn trajectory(
+    mut s: BootstrapState,
+    p: &BootstrapParams,
+    dist: Option<&PieceDistribution>,
+    steps: usize,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(steps + 1);
+    out.push(s.unbootstrapped_fraction());
+    let mut prev = s;
+    for _ in 0..steps {
+        let next = match dist {
+            Some(d) => tchain_step(s, prev, p, d),
+            None => bt_step(s, p),
+        };
+        prev = s;
+        s = next;
+        out.push(s.unbootstrapped_fraction());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omega_prime_matches_paper_example() {
+        // §III-B3: "ω′ = 0.495 (approximating ω′ with M = 100 and
+        // pm = 1/M)".
+        let d = PieceDistribution::uniform(100);
+        assert!((d.omega_prime() - 0.495).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omega_double_prime_close_to_log_m_over_m() {
+        // §III-B2: "If M is large and the pm are uniform, then
+        // ω″ ≈ log(M)/M".
+        for m in [100usize, 400, 1000] {
+            let d = PieceDistribution::uniform(m);
+            let w = d.omega_double_prime();
+            let approx = (m as f64).ln() / m as f64;
+            assert!(
+                (w - approx).abs() / approx < 0.35,
+                "M={m}: ω″={w} vs ln(M)/M={approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn omega_double_prime_below_omega_prime() {
+        // The paper assumes ω″ ≤ ω′ throughout.
+        let d = PieceDistribution::uniform(100);
+        assert!(d.omega_double_prime() <= d.omega_prime());
+    }
+
+    #[test]
+    fn bt_model_bootstraps_everyone_eventually() {
+        let p = BootstrapParams::default();
+        let s = BootstrapState { x: 500.0, y: 0.0, n: 600.0 };
+        let traj = trajectory(s, &p, None, 200);
+        assert!(traj[0] > 0.8);
+        assert!(*traj.last().unwrap() < 0.01, "final fraction {}", traj.last().unwrap());
+        // Monotone decrease without arrivals.
+        for w in traj.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tchain_model_bootstraps_faster_in_flash_crowd() {
+        // Proposition III.1's regime: many un-bootstrapped peers. With
+        // K = 2 and M = 100, Kω″ < δ, so T-Chain wins the short term
+        // (flash crowd) while BitTorrent catches up long-term — exactly
+        // the split between Propositions III.1 and III.2.
+        let p = BootstrapParams::default();
+        let d = PieceDistribution::uniform(100);
+        let s = BootstrapState { x: 300.0, y: 0.0, n: 600.0 };
+        let bt = trajectory(s, &p, None, 10);
+        let tc = trajectory(s, &p, Some(&d), 10);
+        assert!(
+            tc[5] <= bt[5] + 1e-9,
+            "t=5: tchain {} vs bt {}",
+            tc[5],
+            bt[5]
+        );
+    }
+
+    #[test]
+    fn tchain_model_wins_long_term_when_kw_exceeds_delta() {
+        // Proposition III.2's regime: Kω″ > δ makes T-Chain faster even
+        // when most peers are already bootstrapped.
+        let d = PieceDistribution::uniform(100);
+        let w = d.omega_double_prime();
+        let k = (0.2 / w).ceil() + 2.0;
+        let p = BootstrapParams { k_chains: k, ..Default::default() };
+        let s = BootstrapState { x: 60.0, y: 0.0, n: 600.0 };
+        let bt = trajectory(s, &p, None, 40);
+        let tc = trajectory(s, &p, Some(&d), 40);
+        assert!(
+            tc[40] <= bt[40] + 1e-9,
+            "t=40: tchain {} vs bt {}",
+            tc[40],
+            bt[40]
+        );
+    }
+
+    #[test]
+    fn constant_population_when_alpha_equals_beta() {
+        // §III-B1: "if β = α … the expected number of peers in the swarm
+        // remains constant".
+        let p = BootstrapParams { alpha: 0.01, beta: 0.01, ..Default::default() };
+        let mut s = BootstrapState { x: 100.0, y: 0.0, n: 500.0 };
+        for _ in 0..50 {
+            s = bt_step(s, &p);
+        }
+        assert!((s.n - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        for z in [0.0, 1.0, 10.0, 599.0] {
+            let p = bt_bootstrap_probability(600.0, z, 0.2);
+            assert!((0.0..=1.0).contains(&p));
+            let q = tchain_bootstrap_probability(600.0, 600.0, z, 0.5, 2.0);
+            assert!((0.0..=1.0).contains(&q));
+        }
+        assert_eq!(bt_bootstrap_probability(1.0, 0.0, 0.2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_distribution_rejected() {
+        PieceDistribution::new(vec![0.5, 0.2]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # tchain-analysis — the paper's Section III models
+//!
+//! Closed-form and iterated-expectation models, independent of the
+//! simulator, used to cross-check it:
+//!
+//! * [`bootstrap`] — the §III-B newcomer-bootstrapping dynamics for a
+//!   BitTorrent-like protocol (optimistic unchoking) and for T-Chain
+//!   (pay-it-forward), including ω′ and ω″ (eq. 4);
+//! * [`propositions`] — numeric verification of Propositions III.1/III.2
+//!   (sufficient conditions for T-Chain's faster bootstrapping);
+//! * [`collusion`] — the §III-A4 collusion/Sybil success probability
+//!   (paper form, exact form and Monte-Carlo);
+//! * [`overhead`] — the §III-C encryption/report/space overhead budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod collusion;
+pub mod overhead;
+pub mod propositions;
+
+pub use bootstrap::{BootstrapParams, BootstrapState, PieceDistribution};
+pub use overhead::EncryptionOverhead;

@@ -1,0 +1,144 @@
+//! Baseline protocol parameters (§II-A, §IV-A).
+
+/// Which baseline incentive policy a [`crate::BaselineSwarm`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// Original BitTorrent: rate-based tit-for-tat. Every 10 s a leecher
+    /// unchokes the 4 neighbors that uploaded the most to it in the last
+    /// window, plus one optimistic unchoke rotated every 30 s (§II-A).
+    BitTorrent,
+    /// PropShare: upload bandwidth split *proportionally* to each
+    /// neighbor's contribution in the previous round, with a fixed 20 %
+    /// reserved for exploration/newcomers (Levin et al., §V).
+    PropShare,
+    /// FairTorrent: each block goes to the interested neighbor with the
+    /// lowest deficit (bytes sent minus bytes received) — no rounds
+    /// (Sherman et al., §V).
+    FairTorrent,
+    /// Random BitTorrent (§IV-I): *all* bandwidth is optimistic —
+    /// uploaders pick random interested neighbors every round.
+    RandomBt,
+}
+
+impl Baseline {
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::BitTorrent => "Original BT",
+            Baseline::PropShare => "PropShare",
+            Baseline::FairTorrent => "FairTorrent",
+            Baseline::RandomBt => "Random BitTorrent",
+        }
+    }
+
+    /// All four baselines, in the paper's legend order.
+    pub fn all() -> [Baseline; 4] {
+        [Baseline::BitTorrent, Baseline::PropShare, Baseline::FairTorrent, Baseline::RandomBt]
+    }
+}
+
+impl std::fmt::Display for Baseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tunables for the baseline drivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfig {
+    /// Regular unchoke slots (`k`, usually 4).
+    pub unchoke_slots: usize,
+    /// Optimistic unchoke slots (usually 1 — i.e. ~20 % of slots).
+    pub optimistic_slots: usize,
+    /// Rechoke period in seconds (10 s).
+    pub rechoke_period: f64,
+    /// Optimistic rotation period in seconds (30 s).
+    pub optimistic_period: f64,
+    /// Concurrent uploads the seeder maintains.
+    pub seeder_slots: usize,
+    /// Blocks pipelined per request (a flow carries this many blocks), as
+    /// real clients keep several outstanding requests per peer. Prevents
+    /// one-block-per-tick quantization from idling uplinks.
+    pub pipeline_blocks: usize,
+    /// PropShare's exploration share of upload bandwidth (0.2).
+    pub propshare_explore: f64,
+    /// Replace each finishing leecher with a fresh newcomer (§IV-I churn).
+    pub replace_on_finish: bool,
+    /// Fraction of the file pre-loaded into each compliant joiner.
+    pub initial_piece_fraction: f64,
+    /// A whitewashing free-rider resets its identity after this many
+    /// completed pieces. §IV-C describes per-piece resets ("as soon as it
+    /// gets one (free) piece"), the default; raise it to bound identity
+    /// churn in very large runs.
+    pub whitewash_after_pieces: u32,
+    /// Seconds between census samples.
+    pub sample_period: f64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            unchoke_slots: 4,
+            optimistic_slots: 1,
+            rechoke_period: 10.0,
+            optimistic_period: 30.0,
+            seeder_slots: 16,
+            pipeline_blocks: 4,
+            propshare_explore: 0.2,
+            replace_on_finish: false,
+            initial_piece_fraction: 0.0,
+            whitewash_after_pieces: 1,
+            sample_period: 5.0,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values.
+    pub fn validate(&self) {
+        assert!(self.unchoke_slots >= 1, "need at least one unchoke slot");
+        assert!(self.rechoke_period > 0.0 && self.optimistic_period > 0.0, "positive periods");
+        assert!(self.seeder_slots >= 1, "seeder needs a slot");
+        assert!(self.pipeline_blocks >= 1, "pipeline at least one block");
+        assert!((0.0..1.0).contains(&self.propshare_explore), "explore share in [0,1)");
+        assert!(
+            (0.0..=1.0).contains(&self.initial_piece_fraction),
+            "initial piece fraction in [0,1]"
+        );
+        assert!(self.whitewash_after_pieces >= 1, "whitewash batch of at least one piece");
+        assert!(self.sample_period > 0.0, "positive sample period");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = BaselineConfig::default();
+        assert_eq!(c.unchoke_slots, 4, "top-4 TFT unchoking");
+        assert_eq!(c.optimistic_slots, 1);
+        assert_eq!(c.rechoke_period, 10.0);
+        assert_eq!(c.optimistic_period, 30.0);
+        assert!((c.propshare_explore - 0.2).abs() < 1e-12, "20% pre-allocated");
+        c.validate();
+    }
+
+    #[test]
+    fn names_match_legends() {
+        assert_eq!(Baseline::BitTorrent.name(), "Original BT");
+        assert_eq!(Baseline::all().len(), 4);
+        assert_eq!(format!("{}", Baseline::FairTorrent), "FairTorrent");
+    }
+
+    #[test]
+    #[should_panic(expected = "explore share")]
+    fn bad_explore_rejected() {
+        BaselineConfig { propshare_explore: 1.0, ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,950 @@
+//! The baseline swarm driver: BitTorrent TFT, PropShare, FairTorrent and
+//! Random BitTorrent over the shared substrate.
+//!
+//! All four baselines exchange 16 KB blocks (64 KB whole pieces for
+//! FairTorrent, matching §IV-A) under different *upload scheduling*
+//! policies; everything else — tracker, mesh, LRF piece selection, seeder
+//! presence, leecher departures — is identical. One driver parameterized
+//! by [`Baseline`] keeps their comparison honest: any performance gap
+//! comes from the incentive policy, not from incidental implementation
+//! differences.
+
+use crate::config::{Baseline, BaselineConfig};
+use std::collections::{HashMap, HashSet};
+use tchain_attacks::{PeerPlan, Strategy};
+use tchain_metrics::TimeSeries;
+use tchain_proto::{PieceId, Role, SwarmBase, SwarmConfig};
+use tchain_sim::{Flow, FlowId, NodeId, Periodic};
+
+#[derive(Debug, Default)]
+struct BtState {
+    strategy: Strategy,
+    planned_capacity: f64,
+    /// Regular unchoke set (upload recipients).
+    unchoked: Vec<NodeId>,
+    /// Optimistic unchoke set.
+    optimistic: Vec<NodeId>,
+    /// PropShare per-recipient bandwidth weights.
+    weights: HashMap<NodeId, f64>,
+    /// Active block flow per recipient.
+    serving: HashMap<NodeId, FlowId>,
+    /// Bytes received per neighbor in the current 10 s window.
+    window: HashMap<NodeId, f64>,
+    /// Previous completed window (the TFT ranking input).
+    window_prev: HashMap<NodeId, f64>,
+    /// FairTorrent ledger: bytes sent minus bytes received, per neighbor.
+    deficits: HashMap<NodeId, f64>,
+    /// Blocks received per partially downloaded piece.
+    piece_progress: HashMap<PieceId, u32>,
+    /// Which piece we are pulling from each uploader.
+    pulling: HashMap<NodeId, PieceId>,
+    /// Pieces currently assigned to some uploader (duplicate guard).
+    in_flight: HashSet<PieceId>,
+    /// Completed pieces since the last whitewash.
+    pieces_since_ww: u32,
+    /// Attacker lineage: first identity and original join time.
+    lineage: Option<(NodeId, f64)>,
+}
+
+#[derive(Debug)]
+struct PendingJoin {
+    at: f64,
+    plan: PeerPlan,
+    carry: Vec<PieceId>,
+    lineage: Option<(NodeId, f64)>,
+}
+
+/// A swarm running one of the four baseline protocols.
+///
+/// ```
+/// use tchain_baselines::{Baseline, BaselineConfig, BaselineSwarm};
+/// use tchain_proto::{FileSpec, SwarmConfig};
+/// use tchain_attacks::PeerPlan;
+/// use tchain_sim::kbps;
+///
+/// let file = FileSpec::custom(8, 64.0 * 1024.0, 16.0 * 1024.0);
+/// let plan: Vec<PeerPlan> =
+///     (0..6).map(|i| PeerPlan::compliant(i as f64 * 0.1, kbps(800.0))).collect();
+/// let mut swarm = BaselineSwarm::new(
+///     SwarmConfig::paper(file),
+///     BaselineConfig::default(),
+///     Baseline::BitTorrent,
+///     plan,
+///     1,
+/// );
+/// swarm.run_until_done();
+/// assert_eq!(swarm.completion_times(true).len(), 6);
+/// ```
+#[derive(Debug)]
+pub struct BaselineSwarm {
+    base: SwarmBase,
+    cfg: BaselineConfig,
+    policy: Baseline,
+    seeder: NodeId,
+    states: Vec<BtState>,
+    plan: Vec<PeerPlan>,
+    next_arrival: usize,
+    pending_joins: Vec<PendingJoin>,
+    rechoke_timer: Periodic,
+    optimistic_timer: Periodic,
+    sample_timer: Periodic,
+    leecher_series: TimeSeries,
+    completed_buf: Vec<Flow>,
+    blocks_moved: u64,
+}
+
+impl BaselineSwarm {
+    /// Builds a baseline swarm: one seeder plus planned leecher arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(
+        scfg: SwarmConfig,
+        cfg: BaselineConfig,
+        policy: Baseline,
+        mut plan: Vec<PeerPlan>,
+        seed: u64,
+    ) -> Self {
+        cfg.validate();
+        plan.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite join times"));
+        let mut base = SwarmBase::new(scfg, seed);
+        let seeder = base.admit_seeder();
+        let mut sw = BaselineSwarm {
+            base,
+            cfg,
+            policy,
+            seeder,
+            states: Vec::new(),
+            plan,
+            next_arrival: 0,
+            pending_joins: Vec::new(),
+            rechoke_timer: Periodic::new(cfg.rechoke_period),
+            optimistic_timer: Periodic::new(cfg.optimistic_period),
+            sample_timer: Periodic::new(cfg.sample_period),
+            leecher_series: TimeSeries::new(),
+            completed_buf: Vec::new(),
+            blocks_moved: 0,
+        };
+        sw.ensure_state(seeder);
+        sw
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors (mirroring `TChainSwarm` so experiments treat protocols
+    // uniformly)
+    // ------------------------------------------------------------------
+
+    /// The policy this swarm runs.
+    pub fn policy(&self) -> Baseline {
+        self.policy
+    }
+
+    /// The underlying substrate.
+    pub fn base(&self) -> &SwarmBase {
+        &self.base
+    }
+
+    /// The seeder's id.
+    pub fn seeder(&self) -> NodeId {
+        self.seeder
+    }
+
+    /// Blocks transferred so far.
+    pub fn blocks_moved(&self) -> u64 {
+        self.blocks_moved
+    }
+
+    /// `(time, alive leechers)` census samples.
+    pub fn leecher_series(&self) -> &TimeSeries {
+        &self.leecher_series
+    }
+
+    /// Download completion times of finished leechers by compliance.
+    pub fn completion_times(&self, compliant: bool) -> Vec<f64> {
+        self.base
+            .peers
+            .iter()
+            .filter(|p| p.role == Role::Leecher && p.compliant == compliant)
+            .filter_map(|p| p.done_time.map(|d| d - p.join_time))
+            .collect()
+    }
+
+    /// Free-rider outcomes by attacker lineage (whitewash resets collapse
+    /// onto the first identity): completed durations plus unfinished
+    /// lineage count.
+    pub fn free_rider_results(&self) -> (Vec<f64>, usize) {
+        let mut durations: std::collections::HashMap<NodeId, f64> =
+            std::collections::HashMap::new();
+        let mut lineages: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        for p in self.base.peers.iter() {
+            if p.role != Role::Leecher || p.compliant {
+                continue;
+            }
+            let Some((root, first_join)) = self.states[p.id.index()].lineage else { continue };
+            lineages.insert(root);
+            if let Some(d) = p.done_time {
+                let dur = d - first_join;
+                durations
+                    .entry(root)
+                    .and_modify(|v| *v = v.min(dur))
+                    .or_insert(dur);
+            }
+        }
+        let unfinished = lineages.len() - durations.len();
+        (durations.into_values().collect(), unfinished)
+    }
+
+    /// Leechers (by compliance) that joined but never finished.
+    pub fn unfinished(&self, compliant: bool) -> usize {
+        self.base
+            .peers
+            .iter()
+            .filter(|p| p.role == Role::Leecher && p.compliant == compliant)
+            .filter(|p| p.done_time.is_none())
+            .count()
+    }
+
+    /// Fairness factors (bytes downloaded / bytes uploaded, §IV-H) of
+    /// finished compliant leechers.
+    pub fn fairness_factors(&self) -> Vec<f64> {
+        self.base
+            .peers
+            .iter()
+            .filter(|p| p.role == Role::Leecher && p.compliant && p.done_time.is_some())
+            .filter_map(|p| {
+                let up = self.base.flows.uploaded(p.id);
+                if up > 0.0 {
+                    Some(self.base.flows.downloaded(p.id) / up)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    /// Runs until every planned compliant leecher finished or departed,
+    /// or `max_time` elapses.
+    pub fn run_until_done(&mut self) {
+        loop {
+            self.step();
+            let now = self.base.clock.now();
+            if now >= self.base.cfg.max_time {
+                break;
+            }
+            if self.next_arrival >= self.plan.len() && self.pending_joins.is_empty() {
+                let any_left = self.base.peers.iter().any(|p| {
+                    p.role == Role::Leecher && p.compliant && p.done_time.is_none() && p.alive()
+                });
+                if !any_left {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Runs until simulated time `t`.
+    pub fn run_to(&mut self, t: f64) {
+        while self.base.clock.now() < t {
+            self.step();
+        }
+    }
+
+    /// Advances the simulation by one step.
+    pub fn step(&mut self) {
+        let now = self.base.clock.tick();
+        self.process_arrivals(now);
+        if self.rechoke_timer.fire(now) {
+            self.rechoke_round(now);
+        }
+        if self.optimistic_timer.fire(now) && self.policy == Baseline::BitTorrent {
+            self.optimistic_round();
+        }
+        if self.policy == Baseline::FairTorrent {
+            self.fairtorrent_kick();
+        }
+        let mut completed = std::mem::take(&mut self.completed_buf);
+        completed.clear();
+        self.base.flows.advance(self.base.cfg.dt, &mut completed);
+        for f in completed.drain(..) {
+            self.on_block_complete(f, now);
+        }
+        self.completed_buf = completed;
+        if self.sample_timer.fire(now) {
+            let leechers =
+                self.base.peers.iter_alive().filter(|p| p.role == Role::Leecher).count();
+            self.leecher_series.push(now, leechers as f64);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    fn ensure_state(&mut self, id: NodeId) {
+        if id.index() >= self.states.len() {
+            self.states.resize_with(id.index() + 1, BtState::default);
+        }
+    }
+
+    fn process_arrivals(&mut self, now: f64) {
+        while self.next_arrival < self.plan.len() && self.plan[self.next_arrival].at <= now {
+            let p = self.plan[self.next_arrival];
+            self.next_arrival += 1;
+            self.admit_plan(p, Vec::new(), now);
+        }
+        if !self.pending_joins.is_empty() {
+            let mut due = Vec::new();
+            let mut i = 0;
+            while i < self.pending_joins.len() {
+                if self.pending_joins[i].at <= now {
+                    due.push(self.pending_joins.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            for j in due {
+                self.admit_plan_lineage(j.plan, j.carry, now, j.lineage);
+            }
+        }
+    }
+
+    fn admit_plan(&mut self, plan: PeerPlan, carry: Vec<PieceId>, now: f64) -> NodeId {
+        self.admit_plan_lineage(plan, carry, now, None)
+    }
+
+    fn admit_plan_lineage(
+        &mut self,
+        plan: PeerPlan,
+        mut carry: Vec<PieceId>,
+        now: f64,
+        lineage: Option<(NodeId, f64)>,
+    ) -> NodeId {
+        let compliant = plan.strategy.uploads();
+        if compliant && self.cfg.initial_piece_fraction > 0.0 && carry.is_empty() {
+            let n = (self.cfg.initial_piece_fraction * self.base.cfg.file.pieces as f64) as usize;
+            let all: Vec<u32> = (0..self.base.cfg.file.pieces as u32).collect();
+            carry = self.base.rng.sample(&all, n).into_iter().map(PieceId).collect();
+        }
+        let id = self.base.admit_with_pieces(
+            Role::Leecher,
+            plan.effective_capacity(),
+            compliant,
+            carry.iter().copied(),
+        );
+        self.ensure_state(id);
+        let st = &mut self.states[id.index()];
+        st.strategy = plan.strategy;
+        st.planned_capacity = plan.capacity;
+        st.lineage = Some(lineage.unwrap_or((id, now)));
+        id
+    }
+
+    fn finish_peer(&mut self, id: NodeId, now: f64) {
+        self.base.peers.get_mut(id).done_time = Some(now);
+        if self.cfg.replace_on_finish {
+            let cap = self.states[id.index()].planned_capacity;
+            self.pending_joins.push(PendingJoin {
+                at: now + self.base.cfg.dt,
+                plan: PeerPlan::compliant(now + self.base.cfg.dt, cap),
+                carry: Vec::new(),
+                lineage: None,
+            });
+        }
+        self.remove_peer(id);
+    }
+
+    fn remove_peer(&mut self, id: NodeId) {
+        let (out, inb) = self.base.depart(id);
+        // Uploads we were making die; recipients' pull assignments clear.
+        for f in out {
+            let piece = PieceId(f.tag as u32);
+            if self.base.peers.alive(f.dst) {
+                let ds = &mut self.states[f.dst.index()];
+                ds.pulling.remove(&id);
+                ds.in_flight.remove(&piece);
+            }
+        }
+        // Uploads toward us die; uploaders' serving entries clear.
+        for f in inb {
+            if self.base.peers.alive(f.src) {
+                self.states[f.src.index()].serving.remove(&id);
+            }
+        }
+        let st = &mut self.states[id.index()];
+        st.serving.clear();
+        st.pulling.clear();
+        st.in_flight.clear();
+        st.unchoked.clear();
+        st.optimistic.clear();
+    }
+
+    fn whitewash(&mut self, id: NodeId, now: f64) {
+        let carry: Vec<PieceId> = self.base.peers.get(id).have.iter_set().collect();
+        let plan = PeerPlan {
+            at: now + 5.0,
+            capacity: self.states[id.index()].planned_capacity,
+            strategy: self.states[id.index()].strategy,
+        };
+        let lineage = self.states[id.index()].lineage;
+        self.remove_peer(id);
+        self.base.peers.get_mut(id).left_time = Some(now);
+        self.pending_joins.push(PendingJoin { at: now + 5.0, plan, carry, lineage });
+    }
+
+    // ------------------------------------------------------------------
+    // Unchoking policies
+    // ------------------------------------------------------------------
+
+    fn rechoke_round(&mut self, now: f64) {
+        let ids: Vec<NodeId> = self.base.peers.iter_alive().map(|p| p.id).collect();
+        for id in ids {
+            // Window rotation happens for everyone (ranking input).
+            let w = std::mem::take(&mut self.states[id.index()].window);
+            self.states[id.index()].window_prev = w;
+            if !self.base.peers.alive(id) {
+                continue;
+            }
+            let peer = self.base.peers.get(id);
+            let is_seeder = peer.role == Role::Seeder;
+            let compliant = peer.compliant;
+            if !compliant {
+                // Free-riders upload nothing; large-view attackers
+                // re-query the tracker every round (§IV-C).
+                if let Strategy::FreeRider(frc) = self.states[id.index()].strategy {
+                    if frc.large_view {
+                        self.base.acquire_neighbors(id, usize::MAX);
+                    }
+                }
+                continue;
+            }
+            if self.policy == Baseline::FairTorrent && !is_seeder {
+                continue; // FairTorrent leechers schedule per block.
+            }
+            let new_unchoked = if is_seeder {
+                self.pick_random_interested(id, self.cfg.seeder_slots)
+            } else {
+                match self.policy {
+                    Baseline::BitTorrent => self.pick_top_contributors(id, self.cfg.unchoke_slots),
+                    Baseline::RandomBt => self.pick_random_interested(
+                        id,
+                        self.cfg.unchoke_slots + self.cfg.optimistic_slots,
+                    ),
+                    Baseline::PropShare => self.propshare_allocate(id),
+                    Baseline::FairTorrent => unreachable!("handled above"),
+                }
+            };
+            self.apply_unchoke_set(id, new_unchoked);
+            self.base.maybe_refill(id);
+        }
+        let _ = now;
+    }
+
+    /// BitTorrent TFT: the `k` *interested* neighbors that uploaded most
+    /// to us in the previous window; any remaining slots go to random
+    /// interested neighbors (as real clients do — an empty ranking, e.g.
+    /// right after joining, must not leave the uplink idle).
+    fn pick_top_contributors(&mut self, id: NodeId, k: usize) -> Vec<NodeId> {
+        let interested = self.pick_random_interested(id, usize::MAX);
+        let mut ranked: Vec<(f64, NodeId)> = interested
+            .iter()
+            .map(|&n| {
+                (self.states[id.index()].window_prev.get(&n).copied().unwrap_or(0.0), n)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite bytes"));
+        let mut set: Vec<NodeId> =
+            ranked.iter().take_while(|(b, _)| *b > 0.0).take(k).map(|&(_, n)| n).collect();
+        // Fill the remaining regular slots with random interested peers
+        // (`pick_random_interested` already shuffled them).
+        for (_, n) in ranked.iter().filter(|(b, _)| *b <= 0.0) {
+            if set.len() >= k {
+                break;
+            }
+            set.push(*n);
+        }
+        set
+    }
+
+    /// Random interested neighbors (optimistic-only policies + seeders).
+    fn pick_random_interested(&mut self, id: NodeId, k: usize) -> Vec<NodeId> {
+        let neighbors: Vec<NodeId> = self.base.mesh.neighbors(id).to_vec();
+        let mut eligible: Vec<NodeId> = neighbors
+            .into_iter()
+            .filter(|&n| self.base.peers.alive(n))
+            .filter(|&n| {
+                let pn = self.base.peers.get(n);
+                pn.role == Role::Leecher
+                    && !pn.have.is_complete()
+                    && pn.have.wants_from(&self.base.peers.get(id).have)
+            })
+            .collect();
+        self.base.rng.shuffle(&mut eligible);
+        eligible.truncate(k);
+        eligible
+    }
+
+    /// PropShare: weights proportional to last-round contributions, with
+    /// a fixed exploration share for one random non-contributor.
+    fn propshare_allocate(&mut self, id: NodeId) -> Vec<NodeId> {
+        let contributors: Vec<(NodeId, f64)> = self.states[id.index()]
+            .window_prev
+            .iter()
+            .filter(|(n, b)| self.base.peers.alive(**n) && **b > 0.0)
+            .map(|(&n, &b)| (n, b))
+            .collect();
+        self.states[id.index()].weights.clear();
+        if contributors.is_empty() {
+            // Newcomer state: explore with plain optimistic unchokes.
+            return self.pick_random_interested(id, self.cfg.unchoke_slots);
+        }
+        let total: f64 = contributors.iter().map(|(_, b)| b).sum();
+        let mut set: Vec<NodeId> = Vec::with_capacity(contributors.len() + 1);
+        for (n, b) in &contributors {
+            self.states[id.index()].weights.insert(*n, *b);
+            set.push(*n);
+        }
+        // Exploration: one random interested non-contributor gets the
+        // reserved share (20 % of bandwidth → weight e/(1-e) × total).
+        let explore_weight = self.cfg.propshare_explore / (1.0 - self.cfg.propshare_explore) * total;
+        let candidates: Vec<NodeId> = self
+            .base
+            .mesh
+            .neighbors(id)
+            .iter()
+            .copied()
+            .filter(|n| !set.contains(n) && self.base.peers.alive(*n))
+            .filter(|&n| {
+                let pn = self.base.peers.get(n);
+                pn.role == Role::Leecher && pn.have.wants_from(&self.base.peers.get(id).have)
+            })
+            .collect();
+        if let Some(&n) = self.base.rng.choose(&candidates) {
+            self.states[id.index()].weights.insert(n, explore_weight);
+            set.push(n);
+        }
+        set
+    }
+
+    /// Installs a new unchoke set: chokes dropped peers (cancelling their
+    /// block flows) and starts blocks toward new ones.
+    fn apply_unchoke_set(&mut self, id: NodeId, new_set: Vec<NodeId>) {
+        let old: Vec<NodeId> = self.states[id.index()].unchoked.clone();
+        for d in old {
+            if !new_set.contains(&d) && !self.states[id.index()].optimistic.contains(&d) {
+                self.choke(id, d);
+            }
+        }
+        self.states[id.index()].unchoked = new_set.clone();
+        for d in new_set {
+            self.try_start_block(id, d);
+        }
+    }
+
+    fn optimistic_round(&mut self) {
+        let ids: Vec<NodeId> = self
+            .base
+            .peers
+            .iter_alive()
+            .filter(|p| p.role == Role::Leecher && p.compliant)
+            .map(|p| p.id)
+            .collect();
+        for id in ids {
+            let old = std::mem::take(&mut self.states[id.index()].optimistic);
+            for d in old {
+                if !self.states[id.index()].unchoked.contains(&d) {
+                    self.choke(id, d);
+                }
+            }
+            // A random interested neighbor outside the regular set
+            // (§II-A: "regardless of its past upload history").
+            let unchoked = self.states[id.index()].unchoked.clone();
+            let neighbors: Vec<NodeId> = self.base.mesh.neighbors(id).to_vec();
+            let candidates: Vec<NodeId> = neighbors
+                .into_iter()
+                .filter(|&n| self.base.peers.alive(n) && !unchoked.contains(&n))
+                .filter(|&n| {
+                    let pn = self.base.peers.get(n);
+                    pn.role == Role::Leecher
+                        && pn.have.wants_from(&self.base.peers.get(id).have)
+                })
+                .collect();
+            let picks = self.base.rng.sample(&candidates, self.cfg.optimistic_slots);
+            self.states[id.index()].optimistic = picks.clone();
+            for d in picks {
+                self.try_start_block(id, d);
+            }
+        }
+    }
+
+    /// FairTorrent: an idle uploader sends the next block to the
+    /// interested neighbor with the lowest deficit.
+    fn fairtorrent_kick(&mut self) {
+        let ids: Vec<NodeId> = self
+            .base
+            .peers
+            .iter_alive()
+            .filter(|p| p.compliant && p.capacity > 0.0)
+            .map(|p| p.id)
+            .collect();
+        for u in ids {
+            self.fair_serve(u);
+        }
+    }
+
+    fn fair_serve(&mut self, u: NodeId) {
+        // Two outstanding blocks keep the uplink busy across tick
+        // boundaries (the scheduler's water-filling hands a finishing
+        // block's leftover capacity to the other one).
+        if !self.base.peers.alive(u) || self.states[u.index()].serving.len() >= 2 {
+            return;
+        }
+        let mut ranked: Vec<(f64, NodeId)> = {
+            let neighbors: Vec<NodeId> = self.base.mesh.neighbors(u).to_vec();
+            neighbors
+                .into_iter()
+                .filter(|&n| self.base.peers.alive(n))
+                .filter(|&n| {
+                    let pn = self.base.peers.get(n);
+                    pn.role == Role::Leecher
+                        && pn.have.wants_from(&self.base.peers.get(u).have)
+                })
+                .map(|n| (self.states[u.index()].deficits.get(&n).copied().unwrap_or(0.0), n))
+                .collect()
+        };
+        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deficits"));
+        for (_, d) in ranked {
+            if self.try_start_block(u, d) && self.states[u.index()].serving.len() >= 2 {
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Block transfer
+    // ------------------------------------------------------------------
+
+    /// Starts (or continues) a block flow `u → d`. Returns `false` when no
+    /// piece can be assigned (not interested / everything in flight).
+    fn try_start_block(&mut self, u: NodeId, d: NodeId) -> bool {
+        if u == d || !self.base.peers.alive(u) || !self.base.peers.alive(d) {
+            return false;
+        }
+        if self.states[u.index()].serving.contains_key(&d) {
+            return true; // already streaming
+        }
+        // Current assignment, or pick a new piece by LRF.
+        let piece = match self.states[d.index()].pulling.get(&u).copied() {
+            Some(p) if !self.base.peers.get(d).have.has(p) => p,
+            _ => {
+                let picked = {
+                    let d_have = &self.base.peers.get(d).have;
+                    let u_have = &self.base.peers.get(u).have;
+                    let in_flight = &self.states[d.index()].in_flight;
+                    self.base.mesh.lrf_pick_where(d, d_have, u_have, &mut self.base.rng, |p| {
+                        !in_flight.contains(&p)
+                    })
+                };
+                match picked {
+                    Some(p) => {
+                        self.states[d.index()].pulling.insert(u, p);
+                        self.states[d.index()].in_flight.insert(p);
+                        p
+                    }
+                    None => return false,
+                }
+            }
+        };
+        let weight = self.states[u.index()].weights.get(&d).copied().unwrap_or(1.0);
+        // Pipeline several blocks per request, bounded by what the piece
+        // still needs.
+        let blocks_needed = self.base.cfg.file.blocks_per_piece() as u32;
+        let progress = self.states[d.index()].piece_progress.get(&piece).copied().unwrap_or(0);
+        let blocks = (blocks_needed - progress).min(self.cfg.pipeline_blocks as u32).max(1);
+        let fid = self.base.flows.start(
+            u,
+            d,
+            self.base.cfg.file.block_size * blocks as f64,
+            weight.max(1e-6),
+            piece.0 as u64,
+        );
+        self.states[u.index()].serving.insert(d, fid);
+        true
+    }
+
+    /// Chokes `d`: cancels the in-flight block (progress on that block is
+    /// lost; completed blocks of the piece are kept and resumable) and
+    /// clears the pull assignment so the piece is assignable elsewhere.
+    fn choke(&mut self, u: NodeId, d: NodeId) {
+        if let Some(fid) = self.states[u.index()].serving.remove(&d) {
+            self.base.flows.cancel(fid);
+        }
+        if self.base.peers.alive(d) {
+            let ds = &mut self.states[d.index()];
+            if let Some(p) = ds.pulling.remove(&u) {
+                ds.in_flight.remove(&p);
+            }
+        }
+    }
+
+    fn on_block_complete(&mut self, f: Flow, now: f64) {
+        let (u, d) = (f.src, f.dst);
+        let piece = PieceId(f.tag as u32);
+        let block = f.size;
+        let blocks_in_flow =
+            (f.size / self.base.cfg.file.block_size).round().max(1.0) as u32;
+        self.blocks_moved += blocks_in_flow as u64;
+        self.states[u.index()].serving.remove(&d);
+        if !self.base.peers.alive(d) {
+            return;
+        }
+        // Accounting: rate windows and FairTorrent deficits.
+        *self.states[d.index()].window.entry(u).or_insert(0.0) += block;
+        *self.states[u.index()].deficits.entry(d).or_insert(0.0) += block;
+        *self.states[d.index()].deficits.entry(u).or_insert(0.0) -= block;
+        // Piece assembly.
+        let blocks_needed = self.base.cfg.file.blocks_per_piece() as u32;
+        let progress = {
+            let e = self.states[d.index()].piece_progress.entry(piece).or_insert(0);
+            *e += blocks_in_flow;
+            *e
+        };
+        let mut piece_done = false;
+        if progress >= blocks_needed {
+            self.states[d.index()].piece_progress.remove(&piece);
+            self.states[d.index()].in_flight.remove(&piece);
+            self.states[d.index()].pulling.remove(&u);
+            self.base.peers.get_mut(u).pieces_up += 1;
+            piece_done = true;
+            let complete = self.base.grant_piece(d, piece);
+            if complete {
+                self.finish_peer(d, now);
+                if self.base.peers.alive(u) && self.policy == Baseline::FairTorrent {
+                    self.fair_serve(u);
+                }
+                return;
+            }
+            // Whitewashing free-riders reset identity after extracting
+            // their batch of free pieces (§IV-C).
+            if let Strategy::FreeRider(frc) = self.states[d.index()].strategy {
+                if frc.whitewash {
+                    self.states[d.index()].pieces_since_ww += 1;
+                    if self.states[d.index()].pieces_since_ww >= self.cfg.whitewash_after_pieces {
+                        self.whitewash(d, now);
+                        if self.base.peers.alive(u) && self.policy == Baseline::FairTorrent {
+                            self.fair_serve(u);
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+        // Keep the pipe busy — and never leave a pull assignment behind
+        // without a live flow (it would poison the piece as permanently
+        // "in flight" if this pair never resumes).
+        if !self.base.peers.alive(u) {
+            if !piece_done {
+                let ds = &mut self.states[d.index()];
+                if let Some(p) = ds.pulling.remove(&u) {
+                    ds.in_flight.remove(&p);
+                }
+            }
+            return;
+        }
+        match self.policy {
+            Baseline::FairTorrent => {
+                // FairTorrent re-decides the recipient per block: release
+                // the assignment (progress is kept and resumable), then
+                // serve the lowest-deficit neighbor.
+                if !piece_done {
+                    let ds = &mut self.states[d.index()];
+                    if let Some(p) = ds.pulling.remove(&u) {
+                        ds.in_flight.remove(&p);
+                    }
+                }
+                if self.base.peers.get(u).role == Role::Seeder || self.base.peers.get(u).compliant
+                {
+                    self.fair_serve(u);
+                }
+            }
+            _ => {
+                let still_unchoked = self.states[u.index()].unchoked.contains(&d)
+                    || self.states[u.index()].optimistic.contains(&d);
+                let mut continued = false;
+                if still_unchoked {
+                    continued = self.try_start_block(u, d);
+                }
+                if !continued && !piece_done {
+                    let ds = &mut self.states[d.index()];
+                    if let Some(p) = ds.pulling.remove(&u) {
+                        ds.in_flight.remove(&p);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tchain_proto::FileSpec;
+    use tchain_sim::{kbps, kib};
+
+    fn small_file(pieces: usize) -> FileSpec {
+        FileSpec::custom(pieces, kib(64.0), kib(16.0))
+    }
+
+    fn flash_plan(n: usize, cap_kbps: f64) -> Vec<PeerPlan> {
+        (0..n).map(|i| PeerPlan::compliant(0.5 + i as f64 * 0.01, kbps(cap_kbps))).collect()
+    }
+
+    fn run_policy(policy: Baseline, n: usize, seed: u64) -> BaselineSwarm {
+        let mut sw = BaselineSwarm::new(
+            SwarmConfig::paper(small_file(32)),
+            BaselineConfig::default(),
+            policy,
+            flash_plan(n, 800.0),
+            seed,
+        );
+        sw.run_until_done();
+        sw
+    }
+
+    #[test]
+    fn bittorrent_compliant_swarm_finishes() {
+        let sw = run_policy(Baseline::BitTorrent, 16, 1);
+        assert_eq!(sw.completion_times(true).len(), 16);
+        assert!(sw.blocks_moved() > 0);
+    }
+
+    #[test]
+    fn propshare_compliant_swarm_finishes() {
+        let sw = run_policy(Baseline::PropShare, 16, 2);
+        assert_eq!(sw.completion_times(true).len(), 16);
+    }
+
+    #[test]
+    fn fairtorrent_compliant_swarm_finishes() {
+        let sw = run_policy(Baseline::FairTorrent, 16, 3);
+        assert_eq!(sw.completion_times(true).len(), 16);
+    }
+
+    #[test]
+    fn random_bt_compliant_swarm_finishes() {
+        let sw = run_policy(Baseline::RandomBt, 16, 4);
+        assert_eq!(sw.completion_times(true).len(), 16);
+    }
+
+    #[test]
+    fn free_riders_do_finish_in_bittorrent() {
+        // The §IV-C contrast with T-Chain: BitTorrent's altruism (seeder +
+        // optimistic unchokes) lets zero-upload free-riders complete.
+        let mut plan = flash_plan(16, 800.0);
+        for i in 0..4 {
+            plan.push(PeerPlan::free_rider(0.7 + i as f64 * 0.01, kbps(800.0)));
+        }
+        let mut sw = BaselineSwarm::new(
+            SwarmConfig::paper(small_file(16)),
+            BaselineConfig::default(),
+            Baseline::BitTorrent,
+            plan,
+            5,
+        );
+        sw.run_to(6000.0);
+        assert_eq!(sw.completion_times(true).len(), 16);
+        assert!(
+            !sw.completion_times(false).is_empty(),
+            "free-riders eventually finish in BitTorrent"
+        );
+    }
+
+    #[test]
+    fn free_riders_slow_down_compliant_leechers() {
+        let clean = run_policy(Baseline::BitTorrent, 12, 6);
+        let t_clean: f64 = {
+            let v = clean.completion_times(true);
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let mut plan = flash_plan(12, 800.0);
+        for i in 0..6 {
+            plan.push(PeerPlan::free_rider(0.7 + i as f64 * 0.01, kbps(800.0)));
+        }
+        let mut sw = BaselineSwarm::new(
+            SwarmConfig::paper(small_file(32)),
+            BaselineConfig::default(),
+            Baseline::BitTorrent,
+            plan,
+            6,
+        );
+        sw.run_to(8000.0);
+        let v = sw.completion_times(true);
+        assert_eq!(v.len(), 12);
+        let t_fr: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            t_fr > t_clean * 0.9,
+            "free-riders should not speed up compliant leechers: {t_fr} vs {t_clean}"
+        );
+    }
+
+    #[test]
+    fn fairtorrent_deficits_balance_contributions() {
+        let sw = run_policy(Baseline::FairTorrent, 12, 7);
+        let ff = sw.fairness_factors();
+        assert!(!ff.is_empty());
+        let mean = ff.iter().sum::<f64>() / ff.len() as f64;
+        assert!((0.4..2.5).contains(&mean), "fairness factor mean {mean}");
+    }
+
+    #[test]
+    fn whitewash_creates_fresh_identities() {
+        let mut plan = flash_plan(10, 800.0);
+        plan.push(PeerPlan::free_rider(0.7, kbps(800.0)));
+        let mut sw = BaselineSwarm::new(
+            SwarmConfig::paper(small_file(32)),
+            BaselineConfig { whitewash_after_pieces: 2, ..Default::default() },
+            Baseline::FairTorrent,
+            plan,
+            8,
+        );
+        sw.run_to(3000.0);
+        let identities = sw
+            .base()
+            .peers
+            .iter()
+            .filter(|p| p.role == Role::Leecher && !p.compliant)
+            .count();
+        assert!(identities > 1, "whitewashing spawned replacement identities: {identities}");
+    }
+
+    #[test]
+    fn churn_replacement_keeps_population() {
+        let mut sw = BaselineSwarm::new(
+            SwarmConfig::paper(small_file(4)),
+            BaselineConfig { replace_on_finish: true, ..Default::default() },
+            Baseline::BitTorrent,
+            flash_plan(6, 1200.0),
+            9,
+        );
+        sw.run_to(600.0);
+        assert!(sw.completion_times(true).len() > 6);
+    }
+
+    #[test]
+    fn propshare_weights_bias_bandwidth() {
+        let sw = run_policy(Baseline::PropShare, 14, 10);
+        // Smoke check: the run completes and produced meaningful uploads.
+        let total_up: f64 = sw
+            .base()
+            .peers
+            .iter()
+            .filter(|p| p.role == Role::Leecher)
+            .map(|p| sw.base().flows.uploaded(p.id))
+            .sum();
+        assert!(total_up > 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # tchain-baselines — the comparison protocols
+//!
+//! Every incentive scheme the paper evaluates against T-Chain (§IV) plus
+//! the qualitative Table II comparators:
+//!
+//! * [`BaselineSwarm`] with [`Baseline::BitTorrent`] — rate-based
+//!   tit-for-tat with optimistic unchoking (§II-A);
+//! * [`Baseline::PropShare`] — proportional-share allocation with a fixed
+//!   20 % exploration reserve;
+//! * [`Baseline::FairTorrent`] — deficit-based block scheduling;
+//! * [`Baseline::RandomBt`] — 100 % optimistic unchoking (§IV-I);
+//! * [`eigentrust`] / [`dandelion`] — simplified models of the indirect-
+//!   reciprocity schemes, used only to regenerate Table II's columns.
+//!
+//! All four quantitative baselines share one driver over the common
+//! substrate so measured differences are attributable to the incentive
+//! policy alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod dandelion;
+mod driver;
+pub mod eigentrust;
+
+pub use config::{Baseline, BaselineConfig};
+pub use driver::BaselineSwarm;

@@ -1,0 +1,107 @@
+//! One scaled-down end-to-end run per paper figure. These are regression
+//! tripwires for the drivers: each bench exercises the code path that
+//! regenerates the corresponding figure (the full-size generators live in
+//! `tchain-experiments`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tchain_bench::bench_run;
+use tchain_experiments::{
+    flash_plan, run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts,
+};
+
+fn sample(c: &mut Criterion, name: &str, mut f: impl FnMut() -> usize) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function(name, |b| b.iter(|| black_box(f())));
+    g.finish();
+}
+
+fn fig03_clean_swarms(c: &mut Criterion) {
+    sample(c, "fig03_tchain", || bench_run(Proto::TChain, 12, 0.0, 3));
+    sample(c, "fig03_bittorrent", || {
+        bench_run(Proto::Baseline(tchain_baselines::Baseline::BitTorrent), 12, 0.0, 3)
+    });
+    sample(c, "fig03_propshare", || {
+        bench_run(Proto::Baseline(tchain_baselines::Baseline::PropShare), 12, 0.0, 3)
+    });
+    sample(c, "fig03_fairtorrent", || {
+        bench_run(Proto::Baseline(tchain_baselines::Baseline::FairTorrent), 12, 0.0, 3)
+    });
+}
+
+fn fig04_sweeps(c: &mut Criterion) {
+    sample(c, "fig04_file_scaling", || {
+        let plan = flash_plan(10, 0.0, RiderMode::Aggressive, 4);
+        run_proto(Proto::TChain, 2.0, plan, 4, Horizon::CompliantDone, RunOpts::default())
+            .compliant_times
+            .len()
+    });
+}
+
+fn fig07_free_riders(c: &mut Criterion) {
+    sample(c, "fig07_tchain_25pct_fr", || {
+        let plan = flash_plan(16, 0.25, RiderMode::Aggressive, 7);
+        run_proto(
+            Proto::TChain,
+            1.0,
+            plan,
+            7,
+            Horizon::ExtendForFreeRiders(1200.0),
+            RunOpts::default(),
+        )
+        .compliant_times
+        .len()
+    });
+}
+
+fn fig08_collusion(c: &mut Criterion) {
+    sample(c, "fig08_tchain_collusion", || {
+        let plan = flash_plan(16, 0.25, RiderMode::Colluding, 8);
+        run_proto(
+            Proto::TChain,
+            1.0,
+            plan,
+            8,
+            Horizon::ExtendForFreeRiders(1200.0),
+            RunOpts::default(),
+        )
+        .compliant_times
+        .len()
+    });
+}
+
+fn fig09_trace(c: &mut Criterion) {
+    sample(c, "fig09_trace_arrivals", || {
+        let plan = trace_plan(20, 0.25, RiderMode::Aggressive, 9);
+        run_proto(Proto::TChain, 1.0, plan, 9, Horizon::Fixed(600.0), RunOpts::default())
+            .compliant_times
+            .len()
+    });
+}
+
+fn fig13_small_files(c: &mut Criterion) {
+    sample(c, "fig13_two_piece_churn", || {
+        let plan = flash_plan(16, 0.0, RiderMode::Aggressive, 13);
+        run_proto(
+            Proto::TChain,
+            1.0,
+            plan,
+            13,
+            Horizon::Fixed(200.0),
+            RunOpts { custom_pieces: Some(2), replace_on_finish: true, ..Default::default() },
+        )
+        .compliant_times
+        .len()
+    });
+}
+
+criterion_group!(
+    benches,
+    fig03_clean_swarms,
+    fig04_sweeps,
+    fig07_free_riders,
+    fig08_collusion,
+    fig09_trace,
+    fig13_small_files
+);
+criterion_main!(benches);

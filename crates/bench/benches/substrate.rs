@@ -1,0 +1,77 @@
+//! Hot paths of the simulation substrate: weighted water-filling,
+//! LRF selection over availability counts, and word-parallel bitfields.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tchain_proto::{Bitfield, Mesh, PeerTable, PieceId, Role};
+use tchain_sim::{FlowScheduler, NodeId, SimRng};
+
+fn bench_flow_advance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_advance");
+    for &flows in &[100usize, 1000, 5000] {
+        g.bench_function(format!("{flows}_flows"), |b| {
+            b.iter_batched(
+                || {
+                    let mut fs = FlowScheduler::new();
+                    for i in 0..flows {
+                        let src = NodeId((i % 64) as u32);
+                        fs.set_capacity(src, 100_000.0);
+                        fs.start(src, NodeId(64 + i as u32), 65536.0, 1.0, 0);
+                    }
+                    fs
+                },
+                |mut fs| {
+                    let mut done = Vec::new();
+                    fs.advance(0.5, &mut done);
+                    black_box(done.len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_lrf(c: &mut Criterion) {
+    let pieces = 2048;
+    let mut peers = PeerTable::new();
+    let mut mesh = Mesh::new(pieces);
+    let mut rng = SimRng::new(1);
+    let chooser = peers.add(Role::Leecher, 1.0, 0.0, pieces, true);
+    let seeder = peers.add(Role::Seeder, 1.0, 0.0, pieces, true);
+    mesh.connect(chooser, seeder, &peers);
+    for _ in 0..54 {
+        let n = peers.add(Role::Leecher, 1.0, 0.0, pieces, true);
+        for p in 0..pieces as u32 {
+            if p % 7 == 0 {
+                peers.get_mut(n).have.set(PieceId(p));
+            }
+        }
+        mesh.connect(chooser, n, &peers);
+    }
+    let chooser_have = Bitfield::new(pieces);
+    let seeder_have = peers.get(seeder).have.clone();
+    c.bench_function("lrf_pick_2048_pieces_55_neighbors", |b| {
+        b.iter(|| black_box(mesh.lrf_pick(chooser, &chooser_have, &seeder_have, &mut rng)))
+    });
+}
+
+fn bench_bitfield(c: &mut Criterion) {
+    let pieces = 2048;
+    let mut a = Bitfield::new(pieces);
+    let mut b2 = Bitfield::new(pieces);
+    for i in (0..pieces as u32).step_by(3) {
+        a.set(PieceId(i));
+    }
+    for i in (0..pieces as u32).step_by(2) {
+        b2.set(PieceId(i));
+    }
+    c.bench_function("bitfield_wants_from_2048", |b| {
+        b.iter(|| black_box(a.wants_from(&b2)))
+    });
+    c.bench_function("bitfield_difference_2048", |b| {
+        b.iter(|| black_box(a.difference(&b2)))
+    });
+}
+
+criterion_group!(benches, bench_flow_advance, bench_lrf, bench_bitfield);
+criterion_main!(benches);

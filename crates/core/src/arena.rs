@@ -1,0 +1,180 @@
+//! A generational slot arena.
+//!
+//! Transactions and chains are born and die by the millions over a long
+//! run; the arena recycles slots so memory stays proportional to the
+//! number of *live* objects, while generation counters make stale handles
+//! (e.g. a stall-sweep entry for an already-completed transaction)
+//! detectably invalid instead of silently aliasing a recycled slot.
+
+/// Handle into an [`Arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle {
+    slot: u32,
+    gen: u32,
+}
+
+impl Handle {
+    /// Packs the handle into a `u64` (for flow tags).
+    pub fn pack(self) -> u64 {
+        (self.slot as u64) << 32 | self.gen as u64
+    }
+
+    /// Unpacks a handle previously packed with [`Handle::pack`].
+    pub fn unpack(v: u64) -> Self {
+        Handle { slot: (v >> 32) as u32, gen: v as u32 }
+    }
+}
+
+/// Slot arena with generation-checked handles and O(1) alloc/free.
+#[derive(Debug)]
+pub struct Arena<T> {
+    slots: Vec<Option<T>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena { slots: Vec::new(), gens: Vec::new(), free: Vec::new(), live: 0 }
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a value, returning its handle.
+    pub fn insert(&mut self, value: T) -> Handle {
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(value);
+                Handle { slot, gen: self.gens[slot as usize] }
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.gens.push(0);
+                Handle { slot: (self.slots.len() - 1) as u32, gen: 0 }
+            }
+        }
+    }
+
+    /// Immutable access; `None` for stale or freed handles.
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        if self.gens.get(h.slot as usize) == Some(&h.gen) {
+            self.slots[h.slot as usize].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access; `None` for stale or freed handles.
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        if self.gens.get(h.slot as usize) == Some(&h.gen) {
+            self.slots[h.slot as usize].as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Removes a value, bumping the slot's generation. `None` if stale.
+    pub fn remove(&mut self, h: Handle) -> Option<T> {
+        if self.gens.get(h.slot as usize) != Some(&h.gen) {
+            return None;
+        }
+        let v = self.slots[h.slot as usize].take()?;
+        self.gens[h.slot as usize] = self.gens[h.slot as usize].wrapping_add(1);
+        self.free.push(h.slot);
+        self.live -= 1;
+        Some(v)
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates over live values with their handles.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
+        self.slots.iter().enumerate().filter_map(move |(i, s)| {
+            s.as_ref().map(|v| (Handle { slot: i as u32, gen: self.gens[i] }, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a = Arena::new();
+        let h = a.insert("x");
+        assert_eq!(a.get(h), Some(&"x"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.remove(h), Some("x"));
+        assert_eq!(a.get(h), None);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn stale_handles_rejected_after_reuse() {
+        let mut a = Arena::new();
+        let h1 = a.insert(1);
+        a.remove(h1);
+        let h2 = a.insert(2);
+        // Slot reused but generation bumped.
+        assert_ne!(h1, h2);
+        assert_eq!(a.get(h1), None);
+        assert_eq!(a.get(h2), Some(&2));
+        assert_eq!(a.remove(h1), None, "double remove is a no-op");
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let mut a = Arena::new();
+        a.insert(0u8);
+        let h = a.insert(1u8);
+        a.remove(Handle::unpack(h.pack()));
+        assert_eq!(a.len(), 1);
+        let h3 = a.insert(3u8);
+        assert_eq!(Handle::unpack(h3.pack()), h3);
+    }
+
+    #[test]
+    fn iter_sees_only_live() {
+        let mut a = Arena::new();
+        let h1 = a.insert(1);
+        let _h2 = a.insert(2);
+        let h3 = a.insert(3);
+        a.remove(h1);
+        let mut vals: Vec<i32> = a.iter().map(|(_, &v)| v).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![2, 3]);
+        assert_eq!(a.get(h3), Some(&3));
+    }
+
+    #[test]
+    fn memory_is_reused() {
+        let mut a = Arena::new();
+        let mut handles = Vec::new();
+        for round in 0..100 {
+            for i in 0..50 {
+                handles.push(a.insert(round * 50 + i));
+            }
+            for h in handles.drain(..) {
+                a.remove(h);
+            }
+        }
+        // 5000 inserts but only 50 slots ever allocated.
+        assert!(a.slots.len() <= 50);
+    }
+}

@@ -1,0 +1,1479 @@
+//! The T-Chain swarm driver — the paper's protocol, end to end.
+//!
+//! Implements §II (basic protocol, incentives, additional features) and the
+//! attack responses of §III-A on top of the `tchain-proto` substrate:
+//!
+//! * **Initiation** — the seeder keeps [`TChainConfig::seeder_slots`]
+//!   chain-opening uploads in flight, each to a randomly chosen interested
+//!   neighbor (§II-B1).
+//! * **Continuation** — when an encrypted piece arrives, a compliant
+//!   requestor immediately reciprocates toward the designated payee,
+//!   becoming the donor of the next transaction (§II-B2). Donors prefer
+//!   *direct* reciprocity (designating themselves) and fall back to
+//!   *indirect* (a random interested neighbor).
+//! * **Termination** — when no payee exists the upload goes out
+//!   unencrypted, releasing the recipient (§II-B3).
+//! * **Newcomer bootstrapping** — a piece both the newcomer and the payee
+//!   need is chosen, and the newcomer reciprocates by forwarding it
+//!   re-encrypted (§II-D1).
+//! * **Flow control** — a donor stops serving (and stops designating as
+//!   payee) any neighbor with `k` pending un-reciprocated pieces (§II-D2).
+//! * **Opportunistic seeding** — an idle leecher with a completed piece
+//!   and no obligations opens a fresh chain itself (§II-D3).
+//! * **Departure handling** — payees are reassigned and keys escrowed per
+//!   §II-B4; broken chains are closed and counted.
+//! * **Attacks** — free-riders hoard encrypted pieces (cheating), mount
+//!   the large-view exploit and whitewash; colluders send false reception
+//!   reports (§III-A4, §IV-C/D).
+//!
+//! One faithful-but-surprising consequence of §II-B3: when a swarm drains
+//! down to the seeder plus a single remaining leecher, the termination
+//! rule makes the seeder upload unencrypted pieces — even to a free-rider.
+//! The paper notes free-riders "do not control newcomers' arrivals", i.e.
+//! the exploit matters only in degenerate, nearly-empty swarms; measure
+//! free-rider outcomes over the populated phase of a run (as §IV-C does).
+
+use crate::arena::{Arena, Handle};
+use crate::config::{PieceSelection, TChainConfig};
+use crate::telemetry::Telemetry;
+use crate::txn::{Chain, ChainEnd, ChainId, ChainOrigin, ChainStats, Transaction, TxnId, TxnState};
+use std::collections::{HashMap, HashSet, VecDeque};
+use tchain_attacks::{ColluderRegistry, PeerPlan, Strategy};
+use tchain_crypto::Keyring;
+use tchain_metrics::TimeSeries;
+use tchain_proto::{PieceId, Role, SwarmBase, SwarmConfig};
+use tchain_sim::{Flow, NodeId, Periodic};
+
+/// Per-peer protocol state, parallel to the [`tchain_proto::PeerTable`].
+#[derive(Debug)]
+struct PeerState {
+    strategy: Strategy,
+    /// Capacity the peer would contribute if compliant (kept for
+    /// whitewash rejoins and churn replacements).
+    planned_capacity: f64,
+    /// Donor-side ledger (§II-D2): encrypted pieces uploaded to each
+    /// neighbor and not yet covered by a reciprocation report.
+    pending_to: HashMap<NodeId, u32>,
+    /// Encrypted pieces received and not yet keyed (self is requestor).
+    obligations: Vec<TxnId>,
+    /// Pieces in flight toward us or held encrypted — excluded from our
+    /// piece requests so donors do not upload duplicates.
+    expecting: HashSet<PieceId>,
+    /// Last time this peer completed a piece (whitewash trigger clock).
+    last_progress: f64,
+    /// The attacker's first identity and original join time (self for
+    /// fresh peers) — lets experiments report a whitewashing free-rider's
+    /// *true* download duration across identity resets.
+    lineage: (NodeId, f64),
+}
+
+impl Default for PeerState {
+    fn default() -> Self {
+        PeerState {
+            strategy: Strategy::default(),
+            planned_capacity: 0.0,
+            pending_to: HashMap::new(),
+            obligations: Vec::new(),
+            expecting: HashSet::new(),
+            last_progress: 0.0,
+            lineage: (NodeId(u32::MAX), 0.0),
+        }
+    }
+}
+
+/// A deferred join: churn replacement or whitewash rejoin, possibly
+/// carrying pieces across identities.
+#[derive(Debug)]
+struct PendingJoin {
+    at: f64,
+    plan: PeerPlan,
+    carry: Vec<PieceId>,
+    /// Whitewash continuity: the attacker's original identity and first
+    /// join time, threaded through identity resets.
+    lineage: Option<(NodeId, f64)>,
+}
+
+/// The T-Chain protocol driver.
+///
+/// ```
+/// use tchain_core::{TChainSwarm, TChainConfig};
+/// use tchain_proto::{FileSpec, SwarmConfig};
+/// use tchain_attacks::PeerPlan;
+/// use tchain_sim::kbps;
+///
+/// let file = FileSpec::custom(16, 64.0 * 1024.0, 64.0 * 1024.0);
+/// let plan: Vec<PeerPlan> =
+///     (0..8).map(|i| PeerPlan::compliant(i as f64, kbps(800.0))).collect();
+/// let mut swarm = TChainSwarm::new(SwarmConfig::paper(file), TChainConfig::default(), plan, 1);
+/// swarm.run_until_done();
+/// assert_eq!(swarm.completion_times(true).len(), 8);
+/// ```
+#[derive(Debug)]
+pub struct TChainSwarm {
+    base: SwarmBase,
+    cfg: TChainConfig,
+    seeder: NodeId,
+    states: Vec<PeerState>,
+    plan: Vec<PeerPlan>,
+    next_arrival: usize,
+    pending_joins: Vec<PendingJoin>,
+    txns: Arena<Transaction>,
+    chains: Arena<Chain>,
+    stats: ChainStats,
+    keyring: Keyring,
+    colluders: ColluderRegistry,
+    awaiting: VecDeque<(TxnId, f64)>,
+    telemetry: Telemetry,
+    chain_series: TimeSeries,
+    leecher_series: TimeSeries,
+    sample_timer: Periodic,
+    rechoke_timer: Periodic,
+    completed_buf: Vec<Flow>,
+    txns_completed: u64,
+    txns_aborted: u64,
+    direct_txns: u64,
+    indirect_txns: u64,
+    false_reports: u64,
+}
+
+impl TChainSwarm {
+    /// Builds a swarm: one seeder plus the planned leecher arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`TChainConfig::validate`]).
+    pub fn new(scfg: SwarmConfig, cfg: TChainConfig, mut plan: Vec<PeerPlan>, seed: u64) -> Self {
+        cfg.validate();
+        plan.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite join times"));
+        let mut base = SwarmBase::new(scfg, seed);
+        let seeder = base.admit_seeder();
+        let mut sw = TChainSwarm {
+            base,
+            cfg,
+            seeder,
+            states: Vec::new(),
+            plan,
+            next_arrival: 0,
+            pending_joins: Vec::new(),
+            txns: Arena::new(),
+            chains: Arena::new(),
+            stats: ChainStats::default(),
+            keyring: Keyring::new(seed ^ 0x4B45_5952_494E_4721),
+            colluders: ColluderRegistry::new(),
+            awaiting: VecDeque::new(),
+            telemetry: Telemetry::new(),
+            chain_series: TimeSeries::new(),
+            leecher_series: TimeSeries::new(),
+            sample_timer: Periodic::new(cfg.sample_period),
+            rechoke_timer: Periodic::new(10.0),
+            completed_buf: Vec::new(),
+            txns_completed: 0,
+            txns_aborted: 0,
+            direct_txns: 0,
+            indirect_txns: 0,
+            false_reports: 0,
+        };
+        sw.ensure_state(seeder);
+        sw
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The underlying swarm substrate (peers, mesh, flows, clock).
+    pub fn base(&self) -> &SwarmBase {
+        &self.base
+    }
+
+    /// The seeder's id.
+    pub fn seeder(&self) -> NodeId {
+        self.seeder
+    }
+
+    /// Protocol configuration.
+    pub fn config(&self) -> &TChainConfig {
+        &self.cfg
+    }
+
+    /// Chain statistics (Figs. 10/11).
+    pub fn chain_stats(&self) -> &ChainStats {
+        &self.stats
+    }
+
+    /// `(time, active chains)` census samples.
+    pub fn chain_series(&self) -> &TimeSeries {
+        &self.chain_series
+    }
+
+    /// `(time, alive leechers)` census samples.
+    pub fn leecher_series(&self) -> &TimeSeries {
+        &self.leecher_series
+    }
+
+    /// Completed transactions so far.
+    pub fn txns_completed(&self) -> u64 {
+        self.txns_completed
+    }
+
+    /// Aborted transactions so far.
+    pub fn txns_aborted(&self) -> u64 {
+        self.txns_aborted
+    }
+
+    /// `(direct, indirect)` reciprocity counts over started transactions.
+    pub fn reciprocity_split(&self) -> (u64, u64) {
+        (self.direct_txns, self.indirect_txns)
+    }
+
+    /// False reception reports accepted (collusion successes, §IV-D).
+    pub fn false_reports(&self) -> u64 {
+        self.false_reports
+    }
+
+    /// Telemetry recorder; call [`Telemetry::watch`] before running to
+    /// capture a peer's Fig. 5 piece timeline.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Telemetry recorder (read side).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Download completion times (seconds from join to finish) of leechers
+    /// that finished, filtered to compliant or free-riding peers.
+    pub fn completion_times(&self, compliant: bool) -> Vec<f64> {
+        self.base
+            .peers
+            .iter()
+            .filter(|p| p.role == Role::Leecher && p.compliant == compliant)
+            .filter_map(|p| p.done_time.map(|d| d - p.join_time))
+            .collect()
+    }
+
+    /// Free-rider outcomes by attacker *lineage* (whitewash resets
+    /// collapse onto the first identity): completed download durations,
+    /// and the number of lineages that never finished.
+    pub fn free_rider_results(&self) -> (Vec<f64>, usize) {
+        let mut durations: std::collections::HashMap<NodeId, f64> =
+            std::collections::HashMap::new();
+        let mut lineages: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        for p in self.base.peers.iter() {
+            if p.role != Role::Leecher || p.compliant {
+                continue;
+            }
+            let (root, first_join) = self.states[p.id.index()].lineage;
+            lineages.insert(root);
+            if let Some(d) = p.done_time {
+                let dur = d - first_join;
+                durations
+                    .entry(root)
+                    .and_modify(|v| *v = v.min(dur))
+                    .or_insert(dur);
+            }
+        }
+        let unfinished = lineages.len() - durations.len();
+        (durations.into_values().collect(), unfinished)
+    }
+
+    /// Leechers (by compliance) that joined but never finished.
+    pub fn unfinished(&self, compliant: bool) -> usize {
+        self.base
+            .peers
+            .iter()
+            .filter(|p| p.role == Role::Leecher && p.compliant == compliant)
+            .filter(|p| p.done_time.is_none())
+            .count()
+    }
+
+    /// Fairness factors (downloaded/uploaded pieces, §IV-H) of finished
+    /// compliant leechers.
+    pub fn fairness_factors(&self) -> Vec<f64> {
+        self.base
+            .peers
+            .iter()
+            .filter(|p| p.role == Role::Leecher && p.compliant && p.done_time.is_some())
+            .filter_map(|p| p.fairness_factor())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    /// Runs until every planned compliant leecher finished (or departed),
+    /// or until `max_time`.
+    pub fn run_until_done(&mut self) {
+        loop {
+            self.step();
+            let now = self.base.clock.now();
+            if now >= self.base.cfg.max_time {
+                break;
+            }
+            if self.next_arrival >= self.plan.len() && self.pending_joins.is_empty() {
+                let any_compliant_left = self.base.peers.iter().any(|p| {
+                    p.role == Role::Leecher && p.compliant && p.done_time.is_none() && p.alive()
+                });
+                if !any_compliant_left {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Runs until simulated time `t`.
+    pub fn run_to(&mut self, t: f64) {
+        while self.base.clock.now() < t {
+            self.step();
+        }
+    }
+
+    /// Advances the simulation by one step.
+    pub fn step(&mut self) {
+        let now = self.base.clock.tick();
+        self.process_arrivals(now);
+        if self.rechoke_timer.fire(now) {
+            self.free_rider_round(now);
+            self.refill_round();
+        }
+        self.seeder_round(now);
+        if self.cfg.opportunistic_seeding {
+            self.opportunistic_round(now);
+        }
+        let mut completed = std::mem::take(&mut self.completed_buf);
+        completed.clear();
+        self.base.flows.advance(self.base.cfg.dt, &mut completed);
+        for f in completed.drain(..) {
+            self.on_upload_complete(f, now);
+        }
+        self.completed_buf = completed;
+        self.stall_sweep(now);
+        if self.sample_timer.fire(now) {
+            self.chain_series.push(now, self.stats.active as f64);
+            let leechers = self
+                .base
+                .peers
+                .iter_alive()
+                .filter(|p| p.role == Role::Leecher)
+                .count();
+            self.leecher_series.push(now, leechers as f64);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    fn ensure_state(&mut self, id: NodeId) {
+        if id.index() >= self.states.len() {
+            self.states.resize_with(id.index() + 1, PeerState::default);
+        }
+    }
+
+    fn process_arrivals(&mut self, now: f64) {
+        while self.next_arrival < self.plan.len() && self.plan[self.next_arrival].at <= now {
+            let p = self.plan[self.next_arrival];
+            self.next_arrival += 1;
+            self.admit_plan(p, Vec::new(), now);
+        }
+        if !self.pending_joins.is_empty() {
+            let due: Vec<PendingJoin> = {
+                let mut due = Vec::new();
+                let mut i = 0;
+                while i < self.pending_joins.len() {
+                    if self.pending_joins[i].at <= now {
+                        due.push(self.pending_joins.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                due
+            };
+            for j in due {
+                self.admit_plan_lineage(j.plan, j.carry, now, j.lineage);
+            }
+        }
+    }
+
+    fn admit_plan(&mut self, plan: PeerPlan, carry: Vec<PieceId>, now: f64) -> NodeId {
+        self.admit_plan_lineage(plan, carry, now, None)
+    }
+
+    fn admit_plan_lineage(
+        &mut self,
+        plan: PeerPlan,
+        mut carry: Vec<PieceId>,
+        now: f64,
+        lineage: Option<(NodeId, f64)>,
+    ) -> NodeId {
+        let compliant = plan.strategy.uploads();
+        // Fig. 6(b): compliant leechers may start with pre-occupied pieces.
+        if compliant && self.cfg.initial_piece_fraction > 0.0 && carry.is_empty() {
+            let n = (self.cfg.initial_piece_fraction * self.base.cfg.file.pieces as f64) as usize;
+            let all: Vec<u32> = (0..self.base.cfg.file.pieces as u32).collect();
+            carry = self.base.rng.sample(&all, n).into_iter().map(PieceId).collect();
+        }
+        let id = self.base.admit_with_pieces(
+            Role::Leecher,
+            plan.effective_capacity(),
+            compliant,
+            carry.iter().copied(),
+        );
+        self.ensure_state(id);
+        let st = &mut self.states[id.index()];
+        st.strategy = plan.strategy;
+        st.planned_capacity = plan.capacity;
+        st.last_progress = now;
+        st.lineage = lineage.unwrap_or((id, now));
+        if let Some(fr) = plan.strategy.free_rider() {
+            if let Some(g) = fr.collude {
+                self.colluders.register(id, g);
+            }
+        }
+        id
+    }
+
+    fn finish_peer(&mut self, id: NodeId, now: f64) {
+        self.base.peers.get_mut(id).done_time = Some(now);
+        if self.cfg.replace_on_finish {
+            let cap = self.states[id.index()].planned_capacity;
+            self.pending_joins.push(PendingJoin {
+                at: now + self.base.cfg.dt,
+                plan: PeerPlan::compliant(now + self.base.cfg.dt, cap),
+                carry: Vec::new(),
+                lineage: None,
+            });
+        }
+        self.remove_peer(id, now);
+    }
+
+    /// Departure (completion, whitewash or forced): §II-B4 cleanup.
+    fn remove_peer(&mut self, id: NodeId, now: f64) {
+        let (out, inb) = self.base.depart(id);
+        self.colluders.unregister(id);
+        // Outbound flows: `id` was uploading — those transactions die, and
+        // any parent they were reciprocating dies too (the obligated
+        // requestor is gone).
+        for f in out {
+            let t = Handle::unpack(f.tag);
+            let Some(txn) = self.txns.get(t) else { continue };
+            let (req, piece, parent, donor, enc) =
+                (txn.requestor, txn.piece, txn.parent, txn.donor, txn.encrypted());
+            debug_assert_eq!(donor, id);
+            if self.base.peers.alive(req) {
+                self.states[req.index()].expecting.remove(&piece);
+            }
+            if enc {
+                self.pending_dec(donor, req);
+            }
+            self.txn_terminal(t, TxnState::Aborted, ChainEnd::Departure);
+            if let Some(p) = parent {
+                // `id` owed this reciprocation; it will never come.
+                if let Some(ptxn) = self.txns.get(p) {
+                    let (pd, pr) = (ptxn.donor, ptxn.requestor);
+                    debug_assert_eq!(pr, id);
+                    self.pending_dec(pd, pr);
+                    self.txn_terminal(p, TxnState::Aborted, ChainEnd::Departure);
+                }
+            }
+        }
+        // Inbound flows: pieces were being uploaded *to* `id`.
+        for f in inb {
+            let t = Handle::unpack(f.tag);
+            let Some(txn) = self.txns.get(t) else { continue };
+            let (donor, req, parent, enc) = (txn.donor, txn.requestor, txn.parent, txn.encrypted());
+            debug_assert_eq!(req, id);
+            if enc {
+                self.pending_dec(donor, req);
+            }
+            self.txn_terminal(t, TxnState::Aborted, ChainEnd::Departure);
+            if let Some(p) = parent {
+                // The uploader was reciprocating toward the departed payee;
+                // per §II-B4 the original donor designates a new payee.
+                self.attempt_reciprocation(p, now);
+            }
+        }
+        // Obligations this peer held die with it (donor ledgers keep the
+        // pending marks; the stall sweep will close the chains).
+        let obls = std::mem::take(&mut self.states[id.index()].obligations);
+        for t in obls {
+            self.txn_terminal(t, TxnState::Aborted, ChainEnd::Departure);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ledger helpers (§II-D2)
+    // ------------------------------------------------------------------
+
+    fn pending_of(&self, donor: NodeId, to: NodeId) -> u32 {
+        self.states[donor.index()].pending_to.get(&to).copied().unwrap_or(0)
+    }
+
+    fn pending_inc(&mut self, donor: NodeId, to: NodeId) {
+        *self.states[donor.index()].pending_to.entry(to).or_insert(0) += 1;
+    }
+
+    fn pending_dec(&mut self, donor: NodeId, to: NodeId) {
+        if let Some(c) = self.states[donor.index()].pending_to.get_mut(&to) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.states[donor.index()].pending_to.remove(&to);
+            }
+        }
+    }
+
+    /// Flow-control eligibility: fewer than `k` pending pieces (§II-D2).
+    fn ledger_ok(&self, donor: NodeId, to: NodeId) -> bool {
+        self.pending_of(donor, to) < self.cfg.k_pending
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction planning
+    // ------------------------------------------------------------------
+
+    /// Exclusive upper bound on selectable piece indices for `chooser`:
+    /// unlimited under rarest-first, playback frontier + window under the
+    /// streaming policy (§VI extension).
+    fn selection_bound(&self, chooser: NodeId) -> u32 {
+        match self.cfg.piece_selection {
+            PieceSelection::Rarest => u32::MAX,
+            PieceSelection::Streaming { window } => self
+                .base
+                .peers
+                .get(chooser)
+                .have
+                .first_missing()
+                .map(|p| p.0.saturating_add(window))
+                .unwrap_or(u32::MAX),
+        }
+    }
+
+    /// Picks the payee for a transaction `donor → requestor` carrying
+    /// `piece` (§II-B2): the donor itself when direct reciprocity applies,
+    /// otherwise a random eligible neighbor. Returns the payee (or `None`)
+    /// plus whether any *interested* neighbor was excluded purely by the
+    /// §II-D2 flow-control ledger — callers must distinguish "nobody wants
+    /// anything from the requestor" (genuine §II-B3 termination) from
+    /// "interested neighbors exist but are over their pending cap"
+    /// (defer instead of gifting an unencrypted piece, which free-riders
+    /// could otherwise farm).
+    fn select_payee(
+        &mut self,
+        donor: NodeId,
+        requestor: NodeId,
+        piece: PieceId,
+    ) -> (Option<NodeId>, bool) {
+        // Direct reciprocity: the requestor has a piece the donor needs.
+        if self.cfg.direct_reciprocity && donor != self.seeder {
+            let d = self.base.peers.get(donor);
+            let r = self.base.peers.get(requestor);
+            if !d.have.is_complete() {
+                let wants_direct = d
+                    .have
+                    .missing_from(&r.have)
+                    .any(|p| !self.states[donor.index()].expecting.contains(&p));
+                if wants_direct {
+                    return (Some(donor), false);
+                }
+            }
+        }
+        // Indirect: a random neighbor of the donor needing at least one of
+        // the requestor's pieces (including the piece about to arrive).
+        let mut chosen: Option<NodeId> = None;
+        let mut count = 0usize;
+        let mut banned_interested = false;
+        let neighbors: Vec<NodeId> = self.base.mesh.neighbors(donor).to_vec();
+        for x in neighbors {
+            if x == requestor || x == donor || !self.base.peers.alive(x) {
+                continue;
+            }
+            let px = self.base.peers.get(x);
+            if px.role != Role::Leecher || px.have.is_complete() {
+                continue;
+            }
+            let wants =
+                !px.have.has(piece) || px.have.wants_from(&self.base.peers.get(requestor).have);
+            if !wants {
+                continue;
+            }
+            if !self.ledger_ok(donor, x) {
+                banned_interested = true;
+                continue;
+            }
+            count += 1;
+            if self.base.rng.below(count) == 0 {
+                chosen = Some(x);
+            }
+        }
+        (chosen, banned_interested)
+    }
+
+    /// Plans an initiation upload from `donor`'s own pieces to
+    /// `requestor`: returns `(piece, payee)`. Handles the §II-D1 newcomer
+    /// case (piece must be needed by requestor *and* payee). `None` when
+    /// the donor has nothing the requestor can take.
+    fn plan_upload(&mut self, donor: NodeId, requestor: NodeId) -> Option<(PieceId, Option<NodeId>)> {
+        let newcomer = self.base.peers.get(requestor).have.count() == 0;
+        if newcomer {
+            // Choose payee first, then a piece both need.
+            let mut candidates: Vec<NodeId> = self
+                .base
+                .mesh
+                .neighbors(donor)
+                .iter()
+                .copied()
+                .filter(|&x| x != requestor && x != donor && self.base.peers.alive(x))
+                .filter(|&x| {
+                    let px = self.base.peers.get(x);
+                    px.role == Role::Leecher && !px.have.is_complete()
+                })
+                .filter(|&x| self.ledger_ok(donor, x))
+                .collect();
+            self.base.rng.shuffle(&mut candidates);
+            let bound = self.selection_bound(requestor);
+            for x in candidates {
+                let piece = {
+                    let r_have = &self.base.peers.get(requestor).have;
+                    let d_have = &self.base.peers.get(donor).have;
+                    let x_have = &self.base.peers.get(x).have;
+                    let expecting = &self.states[requestor.index()].expecting;
+                    self.base.mesh.lrf_pick_where(
+                        requestor,
+                        r_have,
+                        d_have,
+                        &mut self.base.rng,
+                        |p| p.0 < bound && !x_have.has(p) && !expecting.contains(&p),
+                    )
+                };
+                if let Some(p) = piece {
+                    return Some((p, Some(x)));
+                }
+            }
+            // Interested-but-banned neighbors exist: defer rather than
+            // hand out an unencrypted piece (free-riders would farm it).
+            let any_banned = self
+                .base
+                .mesh
+                .neighbors(donor)
+                .iter()
+                .any(|&x| {
+                    x != requestor
+                        && x != donor
+                        && self.base.peers.alive(x)
+                        && self.base.peers.get(x).role == Role::Leecher
+                        && !self.base.peers.get(x).have.is_complete()
+                        && !self.ledger_ok(donor, x)
+                });
+            if any_banned {
+                return None;
+            }
+            // No payee/piece combination: an unencrypted bootstrap upload
+            // (the §II-B3 tiny-swarm case).
+            let bound = self.selection_bound(requestor);
+            let piece = {
+                let r_have = &self.base.peers.get(requestor).have;
+                let d_have = &self.base.peers.get(donor).have;
+                let expecting = &self.states[requestor.index()].expecting;
+                self.base.mesh.lrf_pick_where(
+                    requestor,
+                    r_have,
+                    d_have,
+                    &mut self.base.rng,
+                    |p| p.0 < bound && !expecting.contains(&p),
+                )
+            };
+            return piece.map(|p| (p, None));
+        }
+        let bound = self.selection_bound(requestor);
+        let piece = {
+            let r_have = &self.base.peers.get(requestor).have;
+            let d_have = &self.base.peers.get(donor).have;
+            let expecting = &self.states[requestor.index()].expecting;
+            self.base.mesh.lrf_pick_where(requestor, r_have, d_have, &mut self.base.rng, |p| {
+                p.0 < bound && !expecting.contains(&p)
+            })
+        }?;
+        let (payee, banned) = self.select_payee(donor, requestor, piece);
+        if payee.is_none() && banned {
+            return None;
+        }
+        Some((piece, payee))
+    }
+
+    /// Creates a transaction and starts its upload flow.
+    #[allow(clippy::too_many_arguments)]
+    fn start_txn(
+        &mut self,
+        chain: ChainId,
+        donor: NodeId,
+        requestor: NodeId,
+        piece: PieceId,
+        payee: Option<NodeId>,
+        parent: Option<TxnId>,
+        now: f64,
+    ) -> TxnId {
+        let encrypted = payee.is_some();
+        let key = if encrypted { Some(self.keyring.mint().0) } else { None };
+        let forward = encrypted && self.base.peers.get(requestor).have.count() == 0;
+        if let Some(c) = self.chains.get_mut(chain) {
+            c.txns += 1;
+            c.live_txns += 1;
+        }
+        match payee {
+            Some(p) if p == donor => self.direct_txns += 1,
+            Some(_) => self.indirect_txns += 1,
+            None => {}
+        }
+        let t = self.txns.insert(Transaction {
+            chain,
+            donor,
+            requestor,
+            payee,
+            piece,
+            key,
+            parent,
+            state: TxnState::Uploading,
+            started: now,
+            awaiting_since: now,
+            key_escrowed: false,
+            forward_encrypted: forward,
+            child_active: false,
+        });
+        self.base.flows.start(donor, requestor, self.base.cfg.file.piece_size, 1.0, t.pack());
+        self.states[requestor.index()].expecting.insert(piece);
+        if encrypted {
+            self.pending_inc(donor, requestor);
+        }
+        t
+    }
+
+    /// Retires a transaction; closes its chain when it was the last live
+    /// transaction.
+    fn txn_terminal(&mut self, t: TxnId, state: TxnState, cause: ChainEnd) {
+        let Some(txn) = self.txns.remove(t) else { return };
+        if let Some(parent) = txn.parent {
+            if let Some(ptxn) = self.txns.get_mut(parent) {
+                ptxn.child_active = false;
+            }
+        }
+        match state {
+            TxnState::Completed => self.txns_completed += 1,
+            TxnState::Aborted => self.txns_aborted += 1,
+            _ => unreachable!("terminal states only"),
+        }
+        if txn.requestor.index() < self.states.len() {
+            self.states[txn.requestor.index()].obligations.retain(|&o| o != t);
+        }
+        if let Some(c) = self.chains.get_mut(txn.chain) {
+            c.live_txns -= 1;
+            if c.live_txns == 0 {
+                let chain = self.chains.remove(txn.chain).expect("live chain");
+                self.stats.record_end(cause, chain.txns);
+            }
+        }
+    }
+
+    fn new_chain(&mut self, origin: ChainOrigin, now: f64) -> ChainId {
+        let id = self.chains.insert(Chain { origin, created_at: now, txns: 0, live_txns: 0 });
+        self.stats.active += 1;
+        match origin {
+            ChainOrigin::Seeder => self.stats.created_by_seeder += 1,
+            ChainOrigin::Opportunistic => self.stats.created_by_leechers += 1,
+        }
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Chain initiation (§II-B1, §II-D3)
+    // ------------------------------------------------------------------
+
+    fn seeder_round(&mut self, now: f64) {
+        let seeder = self.seeder;
+        let mut guard = 0;
+        while self.base.flows.count_from(seeder) < self.cfg.seeder_slots {
+            guard += 1;
+            if guard > self.cfg.seeder_slots * 4 {
+                break;
+            }
+            let mut requestor = None;
+            let mut count = 0usize;
+            let neighbors: Vec<NodeId> = self.base.mesh.neighbors(seeder).to_vec();
+            for x in neighbors {
+                if !self.base.peers.alive(x) {
+                    continue;
+                }
+                let px = self.base.peers.get(x);
+                if px.role != Role::Leecher || px.have.is_complete() {
+                    continue;
+                }
+                if !self.ledger_ok(seeder, x) {
+                    continue;
+                }
+                count += 1;
+                if self.base.rng.below(count) == 0 {
+                    requestor = Some(x);
+                }
+            }
+            let Some(r) = requestor else { break };
+            let Some((piece, payee)) = self.plan_upload(seeder, r) else { break };
+            let chain = self.new_chain(ChainOrigin::Seeder, now);
+            self.start_txn(chain, seeder, r, piece, payee, None, now);
+        }
+    }
+
+    fn opportunistic_round(&mut self, now: f64) {
+        let ids: Vec<NodeId> = self
+            .base
+            .peers
+            .iter_alive()
+            .filter(|p| p.role == Role::Leecher && p.compliant)
+            .filter(|p| p.have.count() >= 1 && !p.have.is_complete())
+            .map(|p| p.id)
+            .collect();
+        for b in ids {
+            if !self.states[b.index()].obligations.is_empty() {
+                continue;
+            }
+            if self.base.flows.count_from(b) > 0 {
+                continue;
+            }
+            // Pick a requestor needing one of B's pieces.
+            let mut requestor = None;
+            let mut count = 0usize;
+            let neighbors: Vec<NodeId> = self.base.mesh.neighbors(b).to_vec();
+            for x in neighbors {
+                if !self.base.peers.alive(x) || x == b {
+                    continue;
+                }
+                let px = self.base.peers.get(x);
+                if px.role != Role::Leecher || px.have.is_complete() {
+                    continue;
+                }
+                if !self.ledger_ok(b, x) {
+                    continue;
+                }
+                if !px.have.wants_from(&self.base.peers.get(b).have) {
+                    continue;
+                }
+                count += 1;
+                if self.base.rng.below(count) == 0 {
+                    requestor = Some(x);
+                }
+            }
+            let Some(c) = requestor else { continue };
+            let Some((piece, payee)) = self.plan_upload(b, c) else { continue };
+            let chain = self.new_chain(ChainOrigin::Opportunistic, now);
+            self.start_txn(chain, b, c, piece, payee, None, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Upload completions and the exchange protocol (§II-B2)
+    // ------------------------------------------------------------------
+
+    fn on_upload_complete(&mut self, f: Flow, now: f64) {
+        let t = Handle::unpack(f.tag);
+        let Some(txn) = self.txns.get(t) else { return };
+        let (donor, requestor, piece, payee, parent, encrypted) =
+            (txn.donor, txn.requestor, txn.piece, txn.payee, txn.parent, txn.encrypted());
+        // The donor spent a piece upload's worth of bandwidth.
+        self.base.peers.get_mut(donor).pieces_up += 1;
+        // This upload reciprocates `parent`: the payee (this upload's
+        // requestor) reports to the parent's donor, who releases the key.
+        if let Some(p) = parent {
+            self.reciprocation_received(p, now);
+        }
+        if !self.base.peers.alive(requestor) {
+            // The recipient departed in the same step (e.g. its file
+            // completed via the parent's key release).
+            if encrypted {
+                self.pending_dec(donor, requestor);
+            }
+            self.txn_terminal(t, TxnState::Aborted, ChainEnd::Departure);
+            return;
+        }
+        if !encrypted {
+            // Unencrypted upload: the recipient is released from any
+            // obligation and the chain terminates (§II-B3).
+            self.states[requestor.index()].expecting.remove(&piece);
+            self.txn_terminal(t, TxnState::Completed, ChainEnd::NoPayee);
+            self.complete_piece_for(requestor, piece, now);
+            return;
+        }
+        {
+            let txn = self.txns.get_mut(t).expect("txn live");
+            txn.state = TxnState::AwaitingReciprocation;
+            txn.awaiting_since = now;
+        }
+        self.awaiting.push_back((t, now));
+        self.states[requestor.index()].obligations.push(t);
+        self.telemetry.on_encrypted(requestor, now);
+        match self.states[requestor.index()].strategy {
+            Strategy::Compliant => self.attempt_reciprocation(t, now),
+            Strategy::FreeRider(_) => {
+                // Cheating (§III-A2): hoard the encrypted piece. Colluders
+                // short-circuit with a false report when the payee is a
+                // conspirator (§III-A4).
+                if let Some(p) = payee {
+                    if self.base.peers.alive(p) && self.colluders.same_group(requestor, p) {
+                        self.false_report(t, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The parent's payee confirmed reciprocation: the donor releases the
+    /// key and the requestor completes the piece.
+    fn reciprocation_received(&mut self, parent: TxnId, now: f64) {
+        let Some(p) = self.txns.get(parent) else { return };
+        if p.state != TxnState::AwaitingReciprocation {
+            return;
+        }
+        let (donor, requestor, piece) = (p.donor, p.requestor, p.piece);
+        self.pending_dec(donor, requestor);
+        // Key release is instantaneous (§III-C2). If the donor departed,
+        // the key was escrowed with the payee (§II-B4) — same effect.
+        self.txn_terminal(parent, TxnState::Completed, ChainEnd::NoPayee);
+        if self.base.peers.alive(requestor) {
+            self.telemetry.on_decrypted(requestor, now);
+            self.states[requestor.index()].expecting.remove(&piece);
+            self.complete_piece_for(requestor, piece, now);
+        }
+    }
+
+    /// Collusion (§IV-D): the payee lies, the donor releases the key for
+    /// free, and the chain has no continuation.
+    fn false_report(&mut self, t: TxnId, now: f64) {
+        let Some(txn) = self.txns.get(t) else { return };
+        let (donor, requestor, piece) = (txn.donor, txn.requestor, txn.piece);
+        self.false_reports += 1;
+        self.pending_dec(donor, requestor);
+        self.txn_terminal(t, TxnState::Completed, ChainEnd::Collusion);
+        self.telemetry.on_decrypted(requestor, now);
+        self.states[requestor.index()].expecting.remove(&piece);
+        self.complete_piece_for(requestor, piece, now);
+    }
+
+    /// The requestor of `t` (compliant) reciprocates toward the designated
+    /// payee, reassigning the payee per §II-B4 when needed.
+    fn attempt_reciprocation(&mut self, t: TxnId, now: f64) {
+        let Some(txn) = self.txns.get(t) else { return };
+        if txn.state != TxnState::AwaitingReciprocation || txn.child_active {
+            return;
+        }
+        let (donor, r, piece, forward, chain) =
+            (txn.donor, txn.requestor, txn.piece, txn.forward_encrypted, txn.chain);
+        if !self.base.peers.alive(r) {
+            return;
+        }
+        let mut payee = txn.payee.expect("encrypted transactions carry a payee");
+        for _attempt in 0..8 {
+            // Is the current payee usable?
+            let usable = payee != r
+                && self.base.peers.alive(payee)
+                && self.ledger_ok(r, payee)
+                && {
+                    let ph = &self.base.peers.get(payee).have;
+                    !ph.is_complete()
+                        && if forward {
+                            !ph.has(piece)
+                        } else {
+                            ph.wants_from(&self.base.peers.get(r).have)
+                        }
+                };
+            if usable {
+                // Choose the reciprocation piece.
+                let piece2 = if forward {
+                    Some(piece)
+                } else {
+                    let bound = self.selection_bound(payee);
+                    let p_have = &self.base.peers.get(payee).have;
+                    let r_have = &self.base.peers.get(r).have;
+                    let expecting = &self.states[payee.index()].expecting;
+                    self.base.mesh.lrf_pick_where(payee, p_have, r_have, &mut self.base.rng, |p| {
+                        p.0 < bound && !expecting.contains(&p)
+                    })
+                };
+                if let Some(p2) = piece2 {
+                    // §II-B1: if the payee is not a neighbor, connect first.
+                    if !self.base.mesh.are_neighbors(r, payee) {
+                        self.base.mesh.connect(r, payee, &self.base.peers);
+                    }
+                    // For the reciprocation the upload must happen; if no
+                    // payee is available (even if only because of ledger
+                    // bans) the upload goes out unencrypted (§II-B3).
+                    let (child_payee, _banned) = self.select_payee(r, payee, p2);
+                    self.start_txn(chain, r, payee, p2, child_payee, Some(t), now);
+                    if let Some(txn) = self.txns.get_mut(t) {
+                        txn.child_active = true;
+                    }
+                    return;
+                }
+            }
+            // Reassign: the donor picks a new payee (§II-B4); if the donor
+            // left, the escrowed key is released outright.
+            if self.base.peers.alive(donor) {
+                match self.select_payee_excluding(donor, r, piece, payee) {
+                    Ok(np) => {
+                        payee = np;
+                        if let Some(txn) = self.txns.get_mut(t) {
+                            txn.payee = Some(np);
+                        }
+                        continue;
+                    }
+                    Err(true) => {
+                        // Interested neighbors exist but are over their
+                        // pending cap: defer; the sweep retries later.
+                        return;
+                    }
+                    Err(false) => {
+                        self.release_without_reciprocation(t, now, ChainEnd::NoPayee);
+                        return;
+                    }
+                }
+            } else {
+                self.release_without_reciprocation(t, now, ChainEnd::Departure);
+                return;
+            }
+        }
+        // Could not converge on a payee: release (extremely rare).
+        self.release_without_reciprocation(t, now, ChainEnd::NoPayee);
+    }
+
+    /// Payee reselection that avoids the just-failed payee. `Ok(payee)` on
+    /// success, `Err(true)` when interested-but-banned neighbors force a
+    /// deferral, `Err(false)` when nobody is interested at all.
+    fn select_payee_excluding(
+        &mut self,
+        donor: NodeId,
+        requestor: NodeId,
+        piece: PieceId,
+        exclude: NodeId,
+    ) -> Result<NodeId, bool> {
+        for _ in 0..4 {
+            let (p, banned) = self.select_payee(donor, requestor, piece);
+            let Some(p) = p else { return Err(banned) };
+            if p != exclude {
+                return Ok(p);
+            }
+            // Direct reciprocity returned the excluded payee: the donor
+            // itself was the failed payee; no reassignment possible.
+            if p == donor {
+                return Err(false);
+            }
+        }
+        Err(false)
+    }
+
+    /// No payee can be found for an owed reciprocation: in the spirit of
+    /// §II-B3's termination, the donor releases the key and the chain ends.
+    fn release_without_reciprocation(&mut self, t: TxnId, now: f64, cause: ChainEnd) {
+        let Some(txn) = self.txns.get(t) else { return };
+        let (donor, requestor, piece) = (txn.donor, txn.requestor, txn.piece);
+        self.pending_dec(donor, requestor);
+        self.txn_terminal(t, TxnState::Completed, cause);
+        if self.base.peers.alive(requestor) {
+            self.telemetry.on_decrypted(requestor, now);
+            self.states[requestor.index()].expecting.remove(&piece);
+            self.complete_piece_for(requestor, piece, now);
+        }
+    }
+
+    fn complete_piece_for(&mut self, id: NodeId, piece: PieceId, now: f64) {
+        if !self.base.peers.alive(id) {
+            return;
+        }
+        self.telemetry.on_complete(id, piece, now);
+        self.states[id.index()].last_progress = now;
+        let done = self.base.grant_piece(id, piece);
+        if done {
+            self.finish_peer(id, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sweeps and attacker behaviour
+    // ------------------------------------------------------------------
+
+    /// Closes chains whose requestor never reciprocated (free-riding).
+    fn stall_sweep(&mut self, now: f64) {
+        while let Some(&(t, since)) = self.awaiting.front() {
+            if now - since < self.cfg.stall_timeout {
+                break;
+            }
+            self.awaiting.pop_front();
+            let Some(txn) = self.txns.get(t) else { continue };
+            if txn.state != TxnState::AwaitingReciprocation {
+                continue;
+            }
+            let requestor = txn.requestor;
+            let stalled = !self.base.peers.alive(requestor)
+                || self.states[requestor.index()].strategy.is_free_rider();
+            if stalled {
+                // The free-rider keeps the (useless) encrypted piece; the
+                // donor's ledger keeps the pending marks — the ban of
+                // §II-D2. The piece may be re-served by someone else.
+                if self.base.peers.alive(requestor) {
+                    let piece = txn.piece;
+                    self.states[requestor.index()].expecting.remove(&piece);
+                }
+                self.txn_terminal(t, TxnState::Aborted, ChainEnd::Stalled);
+            } else {
+                // A compliant requestor is deferred (payees over the
+                // pending cap) or mid-retry: try again and re-arm.
+                self.attempt_reciprocation(t, now);
+                if self.txns.get(t).is_some() {
+                    self.awaiting.push_back((t, now));
+                }
+            }
+        }
+    }
+
+    fn refill_round(&mut self) {
+        let ids: Vec<NodeId> = self
+            .base
+            .peers
+            .iter_alive()
+            .filter(|p| p.role == Role::Leecher)
+            .map(|p| p.id)
+            .collect();
+        for id in ids {
+            self.base.maybe_refill(id);
+        }
+    }
+
+    fn free_rider_round(&mut self, now: f64) {
+        let riders: Vec<NodeId> = self
+            .base
+            .peers
+            .iter_alive()
+            .filter(|p| !p.compliant)
+            .map(|p| p.id)
+            .collect();
+        for id in riders {
+            let Strategy::FreeRider(frc) = self.states[id.index()].strategy else { continue };
+            if frc.whitewash && now - self.states[id.index()].last_progress > self.cfg.whitewash_patience
+            {
+                // Abandon this identity, keep the downloaded pieces, and
+                // rejoin shortly as a "newcomer".
+                let carry: Vec<PieceId> = self.base.peers.get(id).have.iter_set().collect();
+                let plan = PeerPlan {
+                    at: now + 5.0,
+                    capacity: self.states[id.index()].planned_capacity,
+                    strategy: self.states[id.index()].strategy,
+                };
+                let lineage = self.states[id.index()].lineage;
+                self.remove_peer(id, now);
+                self.pending_joins.push(PendingJoin {
+                    at: now + 5.0,
+                    plan,
+                    carry,
+                    lineage: Some(lineage),
+                });
+                continue;
+            }
+            if frc.large_view {
+                self.base.acquire_neighbors(id, usize::MAX);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tchain_proto::FileSpec;
+    use tchain_sim::kbps;
+
+    fn small_file(pieces: usize) -> FileSpec {
+        FileSpec::custom(pieces, tchain_sim::kib(64.0), tchain_sim::kib(64.0))
+    }
+
+    fn flash_plan(n: usize, cap_kbps: f64) -> Vec<PeerPlan> {
+        (0..n).map(|i| PeerPlan::compliant(0.5 + i as f64 * 0.01, kbps(cap_kbps))).collect()
+    }
+
+    #[test]
+    fn tiny_swarm_single_leecher_gets_unencrypted_file() {
+        // §II-B3 extreme case: one seeder, one leecher → the seeder
+        // effectively uploads the file unencrypted.
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(8)),
+            TChainConfig::default(),
+            vec![PeerPlan::compliant(1.0, kbps(400.0))],
+            7,
+        );
+        sw.run_until_done();
+        let times = sw.completion_times(true);
+        assert_eq!(times.len(), 1, "the lone leecher finishes");
+        assert_eq!(sw.unfinished(true), 0);
+    }
+
+    #[test]
+    fn compliant_swarm_all_finish() {
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(32)),
+            TChainConfig::default(),
+            flash_plan(20, 800.0),
+            11,
+        );
+        sw.run_until_done();
+        assert_eq!(sw.completion_times(true).len(), 20, "everyone finishes");
+        assert!(sw.txns_completed() > 0);
+        // Chains were actually used: both seeder and opportunistic.
+        assert!(sw.chain_stats().created_by_seeder > 0);
+    }
+
+    #[test]
+    fn free_riders_never_finish_without_collusion() {
+        // §IV-C headline: "not a single free-rider completed the download".
+        let mut plan = flash_plan(16, 800.0);
+        for i in 0..4 {
+            plan.push(PeerPlan::free_rider(0.6 + i as f64 * 0.01, kbps(800.0)));
+        }
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(32)),
+            TChainConfig::default(),
+            plan,
+            13,
+        );
+        // Measure while the swarm is populated, as §IV-C does. (Once every
+        // compliant leecher has drained, a tiny swarm degenerates to the
+        // §II-B3 seeder-to-single-leecher case and the seeder legitimately
+        // uploads unencrypted pieces — see the module docs.)
+        sw.run_until_done();
+        assert_eq!(sw.completion_times(true).len(), 16, "compliant leechers finish");
+        assert_eq!(sw.completion_times(false).len(), 0, "free-riders never do");
+    }
+
+    #[test]
+    fn colluding_free_riders_can_finish_but_slowly() {
+        use tchain_attacks::GroupId;
+        let mut plan = flash_plan(24, 800.0);
+        for i in 0..8 {
+            plan.push(PeerPlan {
+                at: 0.6 + i as f64 * 0.01,
+                capacity: kbps(800.0),
+                strategy: Strategy::colluding_free_rider(GroupId(0)),
+            });
+        }
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(16)),
+            TChainConfig { whitewash_patience: 1e9, ..Default::default() },
+            plan,
+            17,
+        );
+        sw.run_to(8000.0);
+        let compliant = sw.completion_times(true);
+        assert_eq!(compliant.len(), 24);
+        assert!(sw.false_reports() > 0, "collusion produced false reports");
+        // Colluders make *some* progress (unlike plain free-riders), even
+        // if most never finish in this window.
+        let colluder_pieces: u64 = sw
+            .base()
+            .peers
+            .iter()
+            .filter(|p| !p.compliant)
+            .map(|p| p.pieces_down)
+            .sum();
+        assert!(colluder_pieces > 0, "collusion yields some pieces");
+        if !sw.completion_times(false).is_empty() {
+            let mean_c = compliant.iter().sum::<f64>() / compliant.len() as f64;
+            let fr = sw.completion_times(false);
+            let mean_f = fr.iter().sum::<f64>() / fr.len() as f64;
+            assert!(mean_f > mean_c, "colluders are slower than compliant leechers");
+        }
+    }
+
+    #[test]
+    fn direct_and_indirect_reciprocity_both_occur() {
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(32)),
+            TChainConfig::default(),
+            flash_plan(20, 800.0),
+            19,
+        );
+        sw.run_until_done();
+        let (direct, indirect) = sw.reciprocity_split();
+        assert!(direct > 0, "direct reciprocity used");
+        assert!(indirect > 0, "indirect reciprocity used");
+    }
+
+    #[test]
+    fn fairness_factors_near_one_without_free_riders() {
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(32)),
+            TChainConfig::default(),
+            flash_plan(20, 800.0),
+            23,
+        );
+        sw.run_until_done();
+        let ff = sw.fairness_factors();
+        assert!(!ff.is_empty());
+        let mean = ff.iter().sum::<f64>() / ff.len() as f64;
+        assert!((0.5..2.0).contains(&mean), "fairness factor mean {mean} should be near 1");
+    }
+
+    #[test]
+    fn pending_ledger_bans_unresponsive_neighbors() {
+        let mut plan = flash_plan(8, 800.0);
+        plan.push(PeerPlan::free_rider(0.6, kbps(800.0)));
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(16)),
+            TChainConfig { whitewash_patience: 1e9, ..Default::default() },
+            plan,
+            29,
+        );
+        sw.run_to(500.0);
+        // The free-rider accumulated pending marks at some donor and the
+        // ledger caps them at k.
+        let fr = sw
+            .base()
+            .peers
+            .iter()
+            .find(|p| !p.compliant)
+            .map(|p| p.id)
+            .expect("free-rider joined");
+        let max_pending = sw
+            .states
+            .iter()
+            .flat_map(|s| s.pending_to.get(&fr).copied())
+            .max()
+            .unwrap_or(0);
+        assert!(max_pending <= sw.cfg.k_pending, "ledger bound respected: {max_pending}");
+    }
+
+    #[test]
+    fn chains_close_when_swarm_drains() {
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(16)),
+            TChainConfig::default(),
+            flash_plan(10, 800.0),
+            31,
+        );
+        sw.run_until_done();
+        sw.run_to(sw.base().clock.now() + sw.cfg.stall_timeout * 2.0);
+        assert_eq!(sw.chains.len(), 0, "no chains outlive the swarm");
+        assert_eq!(sw.txns.len(), 0, "no transactions outlive the swarm");
+        assert_eq!(sw.chain_stats().active, 0);
+    }
+
+    #[test]
+    fn initial_piece_fraction_preloads_peers() {
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(32)),
+            TChainConfig { initial_piece_fraction: 0.5, ..Default::default() },
+            flash_plan(6, 800.0),
+            37,
+        );
+        sw.run_to(2.0);
+        for p in sw.base().peers.iter().filter(|p| p.role == Role::Leecher) {
+            assert!(p.have.count() >= 16, "half the pieces preloaded, got {}", p.have.count());
+        }
+    }
+
+    #[test]
+    fn churn_replacement_keeps_population() {
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(4)),
+            TChainConfig { replace_on_finish: true, ..Default::default() },
+            flash_plan(6, 1200.0),
+            41,
+        );
+        sw.run_to(400.0);
+        let finished = sw.completion_times(true).len();
+        assert!(finished > 6, "replacements joined and finished too: {finished}");
+    }
+
+    #[test]
+    fn stall_sweep_closes_free_rider_chains() {
+        let mut plan = flash_plan(8, 800.0);
+        plan.push(PeerPlan::free_rider(0.6, kbps(800.0)));
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(16)),
+            TChainConfig { whitewash_patience: 1e9, stall_timeout: 30.0, ..Default::default() },
+            plan,
+            47,
+        );
+        sw.run_to(600.0);
+        assert!(
+            sw.chain_stats().ended_stalled > 0,
+            "free-riding must terminate chains via the sweep (§IV-F)"
+        );
+        // Opportunistic seeding compensates: compliant leechers finish.
+        assert_eq!(sw.completion_times(true).len(), 8);
+    }
+
+    #[test]
+    fn departures_do_not_leak_transactions() {
+        // High churn: replacements join constantly; after draining, no
+        // transaction or chain may remain live.
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(8)),
+            TChainConfig { replace_on_finish: true, ..Default::default() },
+            flash_plan(10, 1200.0),
+            53,
+        );
+        sw.run_to(300.0);
+        assert!(sw.completion_times(true).len() > 10, "churn kept the swarm busy");
+        // Consistency: created == ended + active at all times.
+        let s = *sw.chain_stats();
+        assert_eq!(s.created_total(), s.ended + s.active);
+        assert!(sw.txns_aborted() > 0, "departures abort in-flight transactions");
+    }
+
+    #[test]
+    fn streaming_window_orders_arrivals() {
+        use crate::config::PieceSelection;
+        let mk = |policy| {
+            let mut sw = TChainSwarm::new(
+                SwarmConfig::paper(small_file(64)),
+                TChainConfig { piece_selection: policy, ..Default::default() },
+                flash_plan(12, 800.0),
+                59,
+            );
+            let target = tchain_sim::NodeId(1);
+            sw.telemetry_mut().watch(target);
+            sw.run_until_done();
+            let tl = sw.telemetry().timeline(target).unwrap().clone();
+            // Mean absolute displacement between completion order and
+            // piece index: lower = more in-order.
+            let n = tl.completions.len().max(1);
+            tl.completions
+                .iter()
+                .enumerate()
+                .map(|(i, (p, _))| (p.index() as f64 - i as f64).abs())
+                .sum::<f64>()
+                / n as f64
+        };
+        let lrf = mk(PieceSelection::Rarest);
+        let windowed = mk(PieceSelection::Streaming { window: 8 });
+        assert!(
+            windowed < lrf * 0.5,
+            "windowed selection must arrive far more in-order: {windowed:.1} vs {lrf:.1}"
+        );
+    }
+
+    #[test]
+    fn telemetry_timelines_track_backlog() {
+        let mut sw = TChainSwarm::new(
+            SwarmConfig::paper(small_file(32)),
+            TChainConfig::default(),
+            flash_plan(12, 400.0),
+            43,
+        );
+        // The first planned leecher will be admitted as NodeId(1); watch it
+        // from the very beginning so both timelines are complete.
+        let target = tchain_sim::NodeId(1);
+        sw.telemetry_mut().watch(target);
+        sw.run_until_done();
+        let tl = sw.telemetry().timeline(target).unwrap();
+        if let (Some((_, enc)), Some((_, dec))) = (tl.encrypted.last(), tl.decrypted.last()) {
+            assert!(enc >= dec, "encrypted line leads the key line");
+        }
+    }
+}

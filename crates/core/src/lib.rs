@@ -1,0 +1,33 @@
+//! # tchain-core — the T-Chain incentive protocol
+//!
+//! The paper's primary contribution: Triangle Chaining (T-Chain), a
+//! distributed fairness-enforcing incentive mechanism that couples a
+//! symmetric-key **almost-fair exchange** with **pay-it-forward**
+//! reciprocation.
+//!
+//! In each transaction a donor uploads an *encrypted* piece to a requestor
+//! and names a payee; the decryption key is released only when the payee
+//! reports that the requestor reciprocated. Fulfilling one transaction
+//! starts the next, producing chains of multi-lateral exchanges with
+//! barrier-free (yet non-exploitable) newcomer bootstrapping.
+//!
+//! * [`TChainSwarm`] — the full protocol driver over the `tchain-proto`
+//!   substrate (see module docs of [`driver`] for the §-by-§ map).
+//! * [`Transaction`]/[`Chain`]/[`ChainStats`] — the Table I objects.
+//! * [`TChainConfig`] — protocol knobs (flow-control `k`, opportunistic
+//!   seeding, stall sweeps, churn).
+//! * [`Telemetry`] — opt-in piece timelines (Fig. 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+mod config;
+pub mod driver;
+mod telemetry;
+mod txn;
+
+pub use config::{PieceSelection, TChainConfig};
+pub use driver::TChainSwarm;
+pub use telemetry::{PieceTimeline, Telemetry};
+pub use txn::{Chain, ChainEnd, ChainId, ChainOrigin, ChainStats, Transaction, TxnId, TxnState};

@@ -1,0 +1,26 @@
+//! # tchain-crypto — symmetric primitives for the almost-fair exchange
+//!
+//! T-Chain's enforcement mechanism is cryptographic but deliberately
+//! lightweight: a donor uploads a piece encrypted under a fresh symmetric
+//! key and releases the key only after the designated payee confirms
+//! reciprocation (paper §II-B). This crate provides:
+//!
+//! * [`chacha`] — a from-scratch ChaCha20 stream cipher (RFC 8439, with the
+//!   RFC's test vectors), used both by the real-bytes examples and by the
+//!   §III-C overhead benchmarks;
+//! * [`Keyring`]/[`PieceKey`]/[`KeyId`] — per-transaction key management
+//!   with the "one key per piece, never reused" policy of §II-B.
+//!
+//! The swarm simulator moves *accounting* rather than real bytes, but it
+//! still mints real keys through [`Keyring`] so that the exchange-protocol
+//! invariants (no decryption before release, unique keys, replayed-release
+//! detection) are enforced by the same code a real client would run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chacha;
+mod key;
+
+pub use chacha::{apply, apply_to_vec, block, KeyBytes, Nonce};
+pub use key::{KeyId, Keyring, PieceKey};

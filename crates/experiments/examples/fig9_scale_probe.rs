@@ -1,0 +1,23 @@
+//! Verifies the Fig. 9 quick-scale deviation: the §II-D2 ledger waste is
+//! constant per donor/free-rider pair, so T-Chain's 50%-free-rider point
+//! improves as the piece count grows toward paper scale.
+use tchain_experiments::*;
+fn main() {
+    for mib in [8.0, 32.0] {
+        for proto in [Proto::TChain, Proto::Baseline(tchain_baselines::Baseline::BitTorrent)] {
+            let mut means = Vec::new();
+            for r in 0..2u64 {
+                let seed = 0x95 | r;
+                let plan = trace_plan(320, 0.5, RiderMode::Aggressive, seed);
+                let out = run_proto(proto, mib, plan, seed,
+                    Horizon::CompliantCount(120, 40_000.0), RunOpts::default());
+                let steady: Vec<f64> = out.compliant_times.iter().copied().skip(40).take(80).collect();
+                if !steady.is_empty() {
+                    means.push(steady.iter().sum::<f64>() / steady.len() as f64);
+                }
+            }
+            let m = means.iter().sum::<f64>() / means.len().max(1) as f64;
+            println!("{mib} MiB  {:<12} {m:.0} s", proto.name());
+        }
+    }
+}

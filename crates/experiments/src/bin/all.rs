@@ -1,0 +1,22 @@
+//! Runs the entire experiment suite in figure order.
+fn main() {
+    let scale = tchain_experiments::Scale::from_env();
+    println!("[all experiments | scale: {}]", scale.name());
+    use tchain_experiments::figures as f;
+    f::fig03::run(scale);
+    f::fig04::run(scale);
+    f::fig05::run(scale);
+    f::fig06::run(scale);
+    f::fig07::run(scale);
+    f::fig08::run(scale);
+    f::fig09::run(scale);
+    f::fig10::run(scale);
+    f::fig11::run(scale);
+    f::fig12::run(scale);
+    f::fig13::run(scale);
+    f::table2::run(scale);
+    f::ablations::run(scale);
+    f::streaming::run(scale);
+    f::overhead::run(scale);
+    f::analysis_sec3::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig06 data. `TCHAIN_SCALE=quick|paper`.
+fn main() {
+    let scale = tchain_experiments::Scale::from_env();
+    println!("[fig06 | scale: {}]", scale.name());
+    tchain_experiments::figures::fig06::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig13 data. `TCHAIN_SCALE=quick|paper`.
+fn main() {
+    let scale = tchain_experiments::Scale::from_env();
+    println!("[fig13 | scale: {}]", scale.name());
+    tchain_experiments::figures::fig13::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table II. `TCHAIN_SCALE=quick|paper`.
+fn main() {
+    let scale = tchain_experiments::Scale::from_env();
+    println!("[table2 | scale: {}]", scale.name());
+    tchain_experiments::figures::table2::run(scale);
+}

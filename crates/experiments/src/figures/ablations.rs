@@ -1,0 +1,120 @@
+//! Ablations of T-Chain's design choices (DESIGN.md §4): flow-control
+//! `k`, opportunistic seeding, direct-reciprocity preference and piece
+//! size. Each is removed/swept in isolation against the same workload.
+
+use crate::output::{print_table, save};
+use crate::scale::Scale;
+use crate::scenario::{flash_plan, Proto, RiderMode};
+use serde::Serialize;
+use tchain_core::{TChainConfig, TChainSwarm};
+use tchain_metrics::Summary;
+use tchain_proto::{FileSpec, SwarmConfig};
+
+/// One ablation row.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Variant label.
+    pub variant: String,
+    /// Compliant completion time.
+    pub completion: Summary,
+    /// Mean uplink utilization.
+    pub utilization: f64,
+    /// Fraction of transactions using direct reciprocity.
+    pub direct_fraction: f64,
+}
+
+fn run_variant(
+    scale: Scale,
+    label: &str,
+    cfg: TChainConfig,
+    spec: FileSpec,
+    fr: f64,
+    out: &mut Vec<Row>,
+) {
+    let mut times = Vec::new();
+    let mut utils = Vec::new();
+    let mut direct = 0u64;
+    let mut indirect = 0u64;
+    for r in 0..scale.runs().min(4) {
+        let seed = 0xAB00 | r as u64;
+        let plan = flash_plan(scale.standard_swarm() / 2, fr, RiderMode::Aggressive, seed);
+        let mut sw = TChainSwarm::new(SwarmConfig::paper(spec), cfg, plan, seed);
+        sw.run_until_done();
+        let ct = sw.completion_times(true);
+        if !ct.is_empty() {
+            times.push(ct.iter().sum::<f64>() / ct.len() as f64);
+        }
+        utils.push(sw.base().mean_uplink_utilization());
+        let (d, i) = sw.reciprocity_split();
+        direct += d;
+        indirect += i;
+    }
+    out.push(Row {
+        variant: label.to_string(),
+        completion: Summary::of(&times),
+        utilization: utils.iter().sum::<f64>() / utils.len().max(1) as f64,
+        direct_fraction: direct as f64 / (direct + indirect).max(1) as f64,
+    });
+}
+
+/// Runs all ablations.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let spec = Proto::TChain.file_spec(scale.file_mib());
+    let base = TChainConfig::default();
+    let mut rows = Vec::new();
+    // Flow-control k sweep (§II-D2 fixes k = 2).
+    for k in [1u32, 2, 4, 8] {
+        run_variant(
+            scale,
+            &format!("k = {k} (25% free-riders)"),
+            TChainConfig { k_pending: k, ..base },
+            spec,
+            0.25,
+            &mut rows,
+        );
+    }
+    // Opportunistic seeding off (§II-D3).
+    run_variant(scale, "opportunistic seeding ON", base, spec, 0.0, &mut rows);
+    run_variant(
+        scale,
+        "opportunistic seeding OFF",
+        TChainConfig { opportunistic_seeding: false, ..base },
+        spec,
+        0.0,
+        &mut rows,
+    );
+    // Direct-reciprocity preference off: pure pay-it-forward.
+    run_variant(scale, "direct reciprocity ON", base, spec, 0.0, &mut rows);
+    run_variant(
+        scale,
+        "direct reciprocity OFF",
+        TChainConfig { direct_reciprocity: false, ..base },
+        spec,
+        0.0,
+        &mut rows,
+    );
+    // Piece-size sweep (§IV-A uses 64 KB).
+    for kib in [32.0, 64.0, 128.0, 256.0] {
+        let pieces = (spec.file_size() / (kib * 1024.0)).ceil() as usize;
+        let s = FileSpec::custom(pieces, kib * 1024.0, kib * 1024.0);
+        run_variant(scale, &format!("piece size {kib:.0} KB"), base, s, 0.0, &mut rows);
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                format!("{}", r.completion),
+                format!("{:.0}%", r.utilization * 100.0),
+                format!("{:.0}%", r.direct_fraction * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablations: T-Chain design choices",
+        &["variant", "completion (s)", "uplink", "direct recip."],
+        &table,
+    );
+    save("ablations", scale.name(), &rows).expect("write results");
+    rows
+}

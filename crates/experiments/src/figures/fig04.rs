@@ -1,0 +1,60 @@
+//! Fig. 4: T-Chain under (a) file-size and (b) swarm-size sweeps.
+
+use crate::output::{print_table, save};
+use crate::scale::Scale;
+use crate::scenario::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts};
+use serde::Serialize;
+use tchain_metrics::Summary;
+
+/// The two sweeps of Fig. 4.
+#[derive(Debug, Serialize)]
+pub struct Data {
+    /// Fig. 4(a): `(file MiB, completion)` at the standard swarm size.
+    pub file_sweep: Vec<(f64, Summary)>,
+    /// Fig. 4(b): `(swarm size, completion)` at the standard file size.
+    pub swarm_sweep: Vec<(usize, Summary)>,
+}
+
+/// Runs Fig. 4 and returns the two series.
+pub fn run(scale: Scale) -> Data {
+    let runs = scale.runs().min(4); // sweeps multiply quickly
+    let mut file_sweep = Vec::new();
+    for &mib in &scale.file_sweep_mib() {
+        let mut times = Vec::new();
+        for r in 0..runs {
+            let seed = (mib as u64) << 8 | r as u64;
+            let plan = flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed);
+            let out =
+                run_proto(Proto::TChain, mib, plan, seed, Horizon::CompliantDone, RunOpts::default());
+            times.extend(out.mean_compliant());
+        }
+        file_sweep.push((mib, Summary::of(&times)));
+    }
+    let mut swarm_sweep = Vec::new();
+    for &n in &scale.swarm_sweep() {
+        let mut times = Vec::new();
+        for r in 0..runs {
+            let seed = (n as u64) << 8 | r as u64 | 0xF4;
+            let plan = flash_plan(n, 0.0, RiderMode::Aggressive, seed);
+            let out = run_proto(
+                Proto::TChain,
+                scale.file_mib(),
+                plan,
+                seed,
+                Horizon::CompliantDone,
+                RunOpts::default(),
+            );
+            times.extend(out.mean_compliant());
+        }
+        swarm_sweep.push((n, Summary::of(&times)));
+    }
+    let rows: Vec<Vec<String>> =
+        file_sweep.iter().map(|(m, s)| vec![format!("{m}"), format!("{s}")]).collect();
+    print_table("Fig. 4(a): T-Chain completion time vs file size", &["MiB", "completion (s)"], &rows);
+    let rows: Vec<Vec<String>> =
+        swarm_sweep.iter().map(|(n, s)| vec![format!("{n}"), format!("{s}")]).collect();
+    print_table("Fig. 4(b): T-Chain completion time vs swarm size", &["swarm", "completion (s)"], &rows);
+    let data = Data { file_sweep, swarm_sweep };
+    save("fig04", scale.name(), &data).expect("write results");
+    data
+}

@@ -1,0 +1,119 @@
+//! Fig. 6: (a) piece differences between neighbor pairs over time (the
+//! paper crawled a live BitTorrent swarm; we instrument a simulated one —
+//! see DESIGN.md "Substitutions"), and (b) the effect of pre-occupied
+//! initial pieces on T-Chain completion time.
+
+use crate::output::{print_table, save};
+use crate::scale::Scale;
+use crate::scenario::{flash_plan, run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts};
+use serde::Serialize;
+use tchain_baselines::{Baseline, BaselineConfig, BaselineSwarm};
+use tchain_metrics::Summary;
+use tchain_proto::{Role, SwarmConfig};
+use tchain_sim::SimRng;
+
+/// Fig. 6 data.
+#[derive(Debug, Serialize)]
+pub struct Data {
+    /// Fig. 6(a): `(time, mean piece difference, total pieces)` samples.
+    pub piece_differences: Vec<(f64, f64)>,
+    /// Total pieces in the measured swarm.
+    pub total_pieces: usize,
+    /// Fig. 6(b): `(initial fraction, completion)` sweep.
+    pub initial_fraction_sweep: Vec<(f64, Summary)>,
+}
+
+/// Runs both halves of Fig. 6.
+pub fn run(scale: Scale) -> Data {
+    // (a) Instrumented BitTorrent swarm under trace arrivals: sample the
+    // piece difference across random alive leecher pairs periodically.
+    let seed = 66;
+    let n = scale.standard_swarm();
+    let spec = Proto::Baseline(Baseline::BitTorrent).file_spec(scale.file_mib());
+    let mut sw = BaselineSwarm::new(
+        SwarmConfig::paper(spec),
+        BaselineConfig::default(),
+        Baseline::BitTorrent,
+        trace_plan(n, 0.0, RiderMode::Aggressive, seed),
+        seed,
+    );
+    let mut sampler = SimRng::new(seed ^ 0xD1FF);
+    let mut piece_differences = Vec::new();
+    let horizon = match scale {
+        Scale::Quick => 1200.0,
+        Scale::Paper => 6000.0,
+    };
+    let step = horizon / 24.0;
+    let mut t = step;
+    while t <= horizon {
+        sw.run_to(t);
+        let alive: Vec<_> = sw
+            .base()
+            .peers
+            .iter_alive()
+            .filter(|p| p.role == Role::Leecher)
+            .map(|p| p.id)
+            .collect();
+        if alive.len() >= 2 {
+            let mut total = 0usize;
+            let mut count = 0usize;
+            for _ in 0..40 {
+                let a = *sampler.choose(&alive).expect("nonempty");
+                let b = *sampler.choose(&alive).expect("nonempty");
+                if a == b {
+                    continue;
+                }
+                total += sw.base().peers.get(a).have.difference(&sw.base().peers.get(b).have);
+                count += 1;
+            }
+            if count > 0 {
+                piece_differences.push((t, total as f64 / count as f64));
+            }
+        }
+        t += step;
+    }
+    // (b) Pre-occupied initial pieces sweep for T-Chain.
+    let mut initial_fraction_sweep = Vec::new();
+    for frac in [0.0, 0.25, 0.5, 0.75, 0.9] {
+        let mut times = Vec::new();
+        for r in 0..scale.runs().min(4) {
+            let seed = 0x6B00 | r as u64;
+            let plan = flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed);
+            let out = run_proto(
+                Proto::TChain,
+                scale.file_mib(),
+                plan,
+                seed,
+                Horizon::CompliantDone,
+                RunOpts { initial_piece_fraction: frac, ..Default::default() },
+            );
+            times.extend(out.mean_compliant());
+        }
+        initial_fraction_sweep.push((frac, Summary::of(&times)));
+    }
+    let rows: Vec<Vec<String>> = piece_differences
+        .iter()
+        .map(|(t, d)| vec![format!("{t:.0}"), format!("{d:.0}")])
+        .collect();
+    print_table(
+        "Fig. 6(a): mean piece difference between neighbor pairs (simulated crawl)",
+        &["t(s)", "diff pieces"],
+        &rows,
+    );
+    let rows: Vec<Vec<String>> = initial_fraction_sweep
+        .iter()
+        .map(|(f, s)| vec![format!("{:.0}%", f * 100.0), format!("{s}")])
+        .collect();
+    print_table(
+        "Fig. 6(b): T-Chain completion vs pre-occupied initial pieces",
+        &["initial", "completion (s)"],
+        &rows,
+    );
+    let data = Data {
+        piece_differences,
+        total_pieces: spec.pieces,
+        initial_fraction_sweep,
+    };
+    save("fig06", scale.name(), &data).expect("write results");
+    data
+}

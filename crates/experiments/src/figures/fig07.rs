@@ -1,0 +1,89 @@
+//! Fig. 7: 25 % free-riders (large-view + whitewash) in a flash crowd —
+//! compliant vs free-rider completion times per protocol.
+
+use crate::output::{fmt_opt, print_table, save};
+use crate::scale::Scale;
+use crate::scenario::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts};
+use serde::Serialize;
+use tchain_metrics::Summary;
+
+/// One Fig. 7 point.
+#[derive(Debug, Serialize)]
+pub struct Point {
+    /// Protocol legend name.
+    pub proto: String,
+    /// Swarm size (leechers incl. free-riders).
+    pub swarm: usize,
+    /// Compliant completion time.
+    pub compliant: Summary,
+    /// Free-rider completion time over finished lineages (`None` mean →
+    /// nobody finished; the T-Chain result).
+    pub free_rider: Option<Summary>,
+    /// Fraction of free-rider lineages that finished within the horizon.
+    pub fr_finish_fraction: f64,
+}
+
+/// The shared engine for Figs. 7 and 8.
+pub fn run_with_mode(scale: Scale, mode: RiderMode, tag: &str, title: &str) -> Vec<Point> {
+    let horizon = match scale {
+        Scale::Quick => 8_000.0,
+        Scale::Paper => 50_000.0,
+    };
+    let mut points = Vec::new();
+    for proto in Proto::main_four() {
+        for &n in &scale.swarm_sizes() {
+            let mut ct = Vec::new();
+            let mut frt = Vec::new();
+            let mut finished = 0usize;
+            let mut total = 0usize;
+            for r in 0..scale.runs() {
+                let seed = (n as u64) << 8 | r as u64 | 0x70;
+                let plan = flash_plan(n, 0.25, mode, seed);
+                let out = run_proto(
+                    proto,
+                    scale.file_mib(),
+                    plan,
+                    seed,
+                    Horizon::ExtendForFreeRiders(horizon),
+                    RunOpts::default(),
+                );
+                ct.extend(out.mean_compliant());
+                frt.extend(out.mean_free_rider());
+                finished += out.free_rider_times.len();
+                total += out.free_rider_times.len() + out.unfinished_free_riders;
+            }
+            points.push(Point {
+                proto: proto.name().to_string(),
+                swarm: n,
+                compliant: Summary::of(&ct),
+                free_rider: if frt.is_empty() { None } else { Some(Summary::of(&frt)) },
+                fr_finish_fraction: if total == 0 { 0.0 } else { finished as f64 / total as f64 },
+            });
+        }
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.proto.clone(),
+                p.swarm.to_string(),
+                format!("{}", p.compliant),
+                fmt_opt(p.free_rider.as_ref().map(|s| s.mean)),
+                format!("{:.0}%", p.fr_finish_fraction * 100.0),
+            ]
+        })
+        .collect();
+    print_table(title, &["protocol", "swarm", "compliant (s)", "free-rider (s)", "FR done"], &rows);
+    save(tag, scale.name(), &points).expect("write results");
+    points
+}
+
+/// Runs Fig. 7 (aggressive free-riders, no collusion).
+pub fn run(scale: Scale) -> Vec<Point> {
+    run_with_mode(
+        scale,
+        RiderMode::Aggressive,
+        "fig07",
+        "Fig. 7: completion times with 25% free-riders (large-view + whitewash)",
+    )
+}

@@ -1,0 +1,17 @@
+//! Fig. 8: as Fig. 7, with all T-Chain free-riders colluding (false
+//! reception reports). Collusion lets them finish — extremely slowly —
+//! while compliant leechers are unaffected.
+
+use crate::figures::fig07::{run_with_mode, Point};
+use crate::scale::Scale;
+use crate::scenario::RiderMode;
+
+/// Runs Fig. 8 (colluding free-riders).
+pub fn run(scale: Scale) -> Vec<Point> {
+    run_with_mode(
+        scale,
+        RiderMode::Colluding,
+        "fig08",
+        "Fig. 8: completion times with 25% colluding free-riders",
+    )
+}

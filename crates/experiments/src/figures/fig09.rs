@@ -1,0 +1,78 @@
+//! Fig. 9: trace-driven arrivals, free-rider fraction 0–50 % — compliant
+//! completion time per protocol (steady state: first K completions minus
+//! a warm-up prefix).
+
+use crate::output::{print_table, save};
+use crate::scale::Scale;
+use crate::scenario::{run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts};
+use serde::Serialize;
+use tchain_metrics::Summary;
+
+/// One Fig. 9 point.
+#[derive(Debug, Serialize)]
+pub struct Point {
+    /// Protocol legend name.
+    pub proto: String,
+    /// Free-rider percentage.
+    pub fr_pct: u32,
+    /// Steady-state compliant completion time.
+    pub compliant: Summary,
+}
+
+/// Runs Fig. 9.
+pub fn run(scale: Scale) -> Vec<Point> {
+    let (measure, exclude) = scale.trace_completions();
+    let horizon = match scale {
+        Scale::Quick => 20_000.0,
+        Scale::Paper => 100_000.0,
+    };
+    let mut points = Vec::new();
+    for proto in Proto::main_four() {
+        for fr_pct in [0u32, 10, 25, 50] {
+            let frac = fr_pct as f64 / 100.0;
+            let mut times = Vec::new();
+            for r in 0..scale.runs().min(3) {
+                let seed = (fr_pct as u64) << 8 | r as u64 | 0x90;
+                // Enough arrivals that `measure` compliant leechers can
+                // finish despite the free-rider share.
+                let arrivals =
+                    ((measure as f64 * 1.3) / (1.0 - frac).max(0.2)).ceil() as usize;
+                let plan = trace_plan(arrivals, frac, RiderMode::Aggressive, seed);
+                let out = run_proto(
+                    proto,
+                    scale.trace_file_mib(),
+                    plan,
+                    seed,
+                    Horizon::CompliantCount(measure, horizon),
+                    RunOpts::default(),
+                );
+                let steady: Vec<f64> = out
+                    .compliant_times
+                    .iter()
+                    .copied()
+                    .skip(exclude)
+                    .take(measure.saturating_sub(exclude))
+                    .collect();
+                if !steady.is_empty() {
+                    times.push(steady.iter().sum::<f64>() / steady.len() as f64);
+                }
+            }
+            points.push(Point {
+                proto: proto.name().to_string(),
+                fr_pct,
+                compliant: Summary::of(&times),
+            });
+        }
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.proto.clone(), format!("{}%", p.fr_pct), format!("{}", p.compliant)])
+        .collect();
+    print_table(
+        "Fig. 9: steady-state compliant completion time vs free-rider share (trace arrivals)",
+        &["protocol", "free-riders", "completion (s)"],
+        &rows,
+    );
+    save("fig09", scale.name(), &points).expect("write results");
+    points
+}

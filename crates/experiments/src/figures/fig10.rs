@@ -1,0 +1,74 @@
+//! Fig. 10: number of active chains over time, tracking active leechers,
+//! under (a) a flash crowd and (b) trace arrivals.
+
+use crate::output::{print_table, save};
+use crate::scale::Scale;
+use crate::scenario::{flash_plan, trace_plan, Proto, RiderMode};
+use serde::Serialize;
+use tchain_core::{TChainConfig, TChainSwarm};
+use tchain_proto::SwarmConfig;
+
+/// One scenario's chain census.
+#[derive(Debug, Serialize)]
+pub struct Census {
+    /// Scenario label.
+    pub scenario: String,
+    /// `(time, active chains)`.
+    pub chains: Vec<(f64, f64)>,
+    /// `(time, alive leechers)`.
+    pub leechers: Vec<(f64, f64)>,
+}
+
+/// Runs both halves of Fig. 10.
+pub fn run(scale: Scale) -> Vec<Census> {
+    let spec = Proto::TChain.file_spec(scale.file_mib());
+    let mut out = Vec::new();
+    // (a) Flash crowd, run to completion.
+    let seed = 100;
+    let mut sw = TChainSwarm::new(
+        SwarmConfig::paper(spec),
+        TChainConfig::default(),
+        flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed),
+        seed,
+    );
+    sw.run_until_done();
+    out.push(Census {
+        scenario: "flash crowd".into(),
+        chains: sw.chain_series().downsample(24).iter().collect(),
+        leechers: sw.leecher_series().downsample(24).iter().collect(),
+    });
+    // (b) Trace arrivals, fixed horizon.
+    let horizon = match scale {
+        Scale::Quick => 2_500.0,
+        Scale::Paper => 8_000.0,
+    };
+    let mut sw = TChainSwarm::new(
+        SwarmConfig::paper(spec),
+        TChainConfig::default(),
+        trace_plan(scale.standard_swarm() * 2, 0.0, RiderMode::Aggressive, seed + 1),
+        seed + 1,
+    );
+    sw.run_to(horizon);
+    out.push(Census {
+        scenario: "trace".into(),
+        chains: sw.chain_series().downsample(24).iter().collect(),
+        leechers: sw.leecher_series().downsample(24).iter().collect(),
+    });
+    for c in &out {
+        let rows: Vec<Vec<String>> = c
+            .chains
+            .iter()
+            .zip(c.leechers.iter())
+            .map(|(ch, le)| {
+                vec![format!("{:.0}", ch.0), format!("{:.0}", ch.1), format!("{:.0}", le.1)]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 10 ({}): active chains and leechers over time", c.scenario),
+            &["t(s)", "chains", "leechers"],
+            &rows,
+        );
+    }
+    save("fig10", scale.name(), &out).expect("write results");
+    out
+}

@@ -1,0 +1,83 @@
+//! Fig. 12: fairness-factor CDFs without and with 25 % free-riders.
+
+use crate::output::{print_table, save};
+use crate::scale::Scale;
+use crate::scenario::{run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts};
+use serde::Serialize;
+use tchain_metrics::Cdf;
+
+/// One protocol's fairness CDF under one free-rider share.
+#[derive(Debug, Serialize)]
+pub struct Curve {
+    /// Protocol legend name.
+    pub proto: String,
+    /// Free-rider percentage (0 or 25).
+    pub fr_pct: u32,
+    /// Deciles of the fairness factor (q10..q100).
+    pub deciles: Vec<f64>,
+    /// Fraction of leechers whose factor exceeds 1.25 (taking notably
+    /// more than they give — the Fig. 12(b) divergence).
+    pub over_125: f64,
+}
+
+/// Runs Fig. 12.
+pub fn run(scale: Scale) -> Vec<Curve> {
+    let (measure, _) = scale.trace_completions();
+    let pop = scale.fairness_population();
+    let horizon = match scale {
+        Scale::Quick => 20_000.0,
+        Scale::Paper => 100_000.0,
+    };
+    let mut curves = Vec::new();
+    for fr_pct in [0u32, 25] {
+        let frac = fr_pct as f64 / 100.0;
+        for proto in Proto::main_four() {
+            let mut factors = Vec::new();
+            for r in 0..scale.runs().min(3) {
+                let seed = (fr_pct as u64) << 8 | r as u64 | 0xC0;
+                let arrivals =
+                    ((measure as f64 * 1.3) / (1.0 - frac).max(0.2)).ceil() as usize;
+                let plan = trace_plan(arrivals, frac, RiderMode::Aggressive, seed);
+                let out = run_proto(
+                    proto,
+                    scale.trace_file_mib(),
+                    plan,
+                    seed,
+                    Horizon::CompliantCount(measure, horizon),
+                    RunOpts::default(),
+                );
+                // Last `pop` finished compliant leechers (steady state).
+                let skip = out.fairness.len().saturating_sub(pop);
+                factors.extend(out.fairness.iter().copied().skip(skip));
+            }
+            let cdf = Cdf::new(factors);
+            let deciles: Vec<f64> =
+                (1..=10).map(|d| cdf.quantile(d as f64 / 10.0)).collect();
+            curves.push(Curve {
+                proto: proto.name().to_string(),
+                fr_pct,
+                over_125: 1.0 - cdf.at(1.25),
+                deciles,
+            });
+        }
+    }
+    let rows: Vec<Vec<String>> = curves
+        .iter()
+        .map(|c| {
+            vec![
+                c.proto.clone(),
+                format!("{}%", c.fr_pct),
+                format!("{:.2}", c.deciles[4]), // median
+                format!("{:.2}", c.deciles[8]), // p90
+                format!("{:.0}%", c.over_125 * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 12: fairness factor (downloaded/uploaded) of compliant leechers",
+        &["protocol", "free-riders", "median", "p90", ">1.25"],
+        &rows,
+    );
+    save("fig12", scale.name(), &curves).expect("write results");
+    curves
+}

@@ -1,0 +1,80 @@
+//! §III-C overhead accounting, with the cipher throughput *measured* on
+//! this machine (same code path as the `crypto` criterion bench).
+
+use crate::output::{print_table, save};
+use crate::scale::Scale;
+use serde::Serialize;
+use tchain_analysis::EncryptionOverhead;
+use tchain_crypto::Keyring;
+
+/// Measured overhead summary.
+#[derive(Debug, Serialize)]
+pub struct Data {
+    /// Measured ChaCha20 throughput, bytes/second.
+    pub cipher_bytes_per_sec: f64,
+    /// Encryption+decryption overhead fraction for a 1 GB file at 8 Mbps
+    /// (the paper's §III-C1 scenario; paper: < 1.2 %).
+    pub encryption_overhead: f64,
+    /// Key-storage overhead fraction for 1 GB / 128 KB pieces / 256-bit
+    /// keys (paper: ~0.02 %).
+    pub space_overhead: f64,
+    /// Chain latency: piece-upload slots for a 100-transaction chain
+    /// (paper §III-C2: n + 2).
+    pub chain_slots_100: u64,
+}
+
+/// Measures the cipher and prints the §III-C table.
+pub fn run(scale: Scale) -> Data {
+    let mut ring = Keyring::new(1);
+    let (_, key) = ring.mint();
+    let mut buf = vec![0u8; 4 * 1024 * 1024];
+    // Warm-up + measure.
+    key.apply(&mut buf);
+    let start = std::time::Instant::now();
+    let reps = 8;
+    for _ in 0..reps {
+        key.apply(&mut buf);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let throughput = (reps * buf.len()) as f64 / secs;
+    let enc = EncryptionOverhead::from_throughput(throughput);
+    let gb = 1024.0 * 1024.0 * 1024.0;
+    let data = Data {
+        cipher_bytes_per_sec: throughput,
+        encryption_overhead: enc.overhead_fraction(gb, 1_000_000.0),
+        space_overhead: tchain_analysis::overhead::space_overhead_fraction(
+            gb,
+            128.0 * 1024.0,
+            32.0,
+        ),
+        chain_slots_100: tchain_analysis::overhead::chain_completion_slots(100),
+    };
+    print_table(
+        "§III-C overheads (measured cipher)",
+        &["metric", "value", "paper"],
+        &[
+            vec![
+                "cipher throughput".into(),
+                format!("{:.0} MB/s", data.cipher_bytes_per_sec / 1e6),
+                "179 MB/s (0.715 ms / 128 KB)".into(),
+            ],
+            vec![
+                "encryption overhead (1 GB @ 8 Mbps)".into(),
+                format!("{:.2}%", data.encryption_overhead * 100.0),
+                "< 1.2%".into(),
+            ],
+            vec![
+                "key storage overhead".into(),
+                format!("{:.3}%", data.space_overhead * 100.0),
+                "~0.02%".into(),
+            ],
+            vec![
+                "chain latency (100 txns)".into(),
+                format!("{} piece slots", data.chain_slots_100),
+                "n + 2".into(),
+            ],
+        ],
+    );
+    save("overhead", scale.name(), &data).expect("write results");
+    data
+}

@@ -1,0 +1,26 @@
+//! # tchain-experiments — regenerating every table and figure
+//!
+//! The §IV evaluation as runnable code. Each figure has a module under
+//! [`figures`] and a thin binary (`fig03` … `fig13`, `table2`,
+//! `overhead`, `analysis`, `all`). Scale with `TCHAIN_SCALE=quick|paper`
+//! (see [`Scale`]); results are printed as paper-style rows and persisted
+//! as JSON under `results/`.
+//!
+//! ```no_run
+//! use tchain_experiments::{figures, Scale};
+//! figures::fig03::run(Scale::Quick);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+mod output;
+mod scale;
+mod scenario;
+
+pub use output::{fmt_opt, print_table, results_dir, save};
+pub use scale::Scale;
+pub use scenario::{
+    flash_plan, run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts, RunOutcome,
+};

@@ -1,0 +1,97 @@
+//! Result persistence and table printing.
+//!
+//! Every figure binary prints the paper-style rows to stdout *and* writes
+//! a JSON document under `results/` so EXPERIMENTS.md numbers are
+//! regenerable and diffable.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory for experiment outputs (repo-root `results/`, overridable
+/// with `TCHAIN_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("TCHAIN_RESULTS").map(PathBuf::from).unwrap_or_else(|_| {
+        // Resolve relative to the workspace root when run via cargo.
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.pop();
+        p.pop();
+        p.push("results");
+        p
+    })
+}
+
+/// Serializes a figure's data to `results/<name>.<scale>.json`.
+pub fn save<T: Serialize>(name: &str, scale: &str, data: &T) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.{scale}.json"));
+    let json = serde_json::to_string_pretty(data).expect("serializable figure data");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Prints a fixed-width table: header then rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats an optional mean (e.g. free-riders that never finished print
+/// as `DNF`).
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "DNF".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_roundtrip() {
+        let dir = std::env::temp_dir().join("tchain-results-test");
+        std::env::set_var("TCHAIN_RESULTS", &dir);
+        let path = save("unit", "quick", &vec![1.0, 2.0]).unwrap();
+        let back: Vec<f64> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1.0, 2.0]);
+        std::env::remove_var("TCHAIN_RESULTS");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fmt_opt_handles_dnf() {
+        assert_eq!(fmt_opt(Some(12.34)), "12.3");
+        assert_eq!(fmt_opt(None), "DNF");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! Scenario builders: workloads × strategies → peer plans, plus the
+//! protocol-agnostic run wrapper the figure modules share.
+
+use tchain_attacks::{GroupId, PeerPlan, Strategy};
+use tchain_baselines::{Baseline, BaselineConfig, BaselineSwarm};
+use tchain_core::{TChainConfig, TChainSwarm};
+use tchain_proto::{FileSpec, Role, SwarmConfig};
+use tchain_workloads::{flash_crowd, CapacityClasses, TraceModel};
+
+/// The five quantitative protocols of §IV, unified for the experiment
+/// harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// The paper's contribution.
+    TChain,
+    /// One of the four baselines.
+    Baseline(Baseline),
+}
+
+impl Proto {
+    /// Legend name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Proto::TChain => "T-Chain",
+            Proto::Baseline(b) => b.name(),
+        }
+    }
+
+    /// The four protocols compared in most figures (legend order).
+    pub fn main_four() -> [Proto; 4] {
+        [
+            Proto::Baseline(Baseline::BitTorrent),
+            Proto::Baseline(Baseline::PropShare),
+            Proto::Baseline(Baseline::FairTorrent),
+            Proto::TChain,
+        ]
+    }
+
+    /// The Fig. 13 set (adds Random BitTorrent).
+    pub fn with_random_bt() -> [Proto; 5] {
+        [
+            Proto::Baseline(Baseline::RandomBt),
+            Proto::Baseline(Baseline::BitTorrent),
+            Proto::Baseline(Baseline::PropShare),
+            Proto::Baseline(Baseline::FairTorrent),
+            Proto::TChain,
+        ]
+    }
+
+    /// The piece layout each protocol uses (§IV-A): 256 KB pieces of
+    /// 16 KB blocks for BitTorrent/PropShare, whole 64 KB pieces for
+    /// T-Chain/FairTorrent.
+    pub fn file_spec(&self, file_mib: f64) -> FileSpec {
+        match self {
+            Proto::TChain | Proto::Baseline(Baseline::FairTorrent) => FileSpec::tchain(file_mib),
+            _ => FileSpec::bittorrent(file_mib),
+        }
+    }
+}
+
+impl std::fmt::Display for Proto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Free-rider behaviour knob for scenario construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RiderMode {
+    /// §IV-C: zero upload + large-view + whitewashing.
+    Aggressive,
+    /// §IV-D: additionally, all free-riders collude in one set.
+    Colluding,
+}
+
+/// Builds a flash-crowd plan (§IV-A: all joins within 10 s) of `n`
+/// leechers with heterogeneous capacities; `fr_fraction` of them are
+/// free-riders in the given mode.
+pub fn flash_plan(n: usize, fr_fraction: f64, mode: RiderMode, seed: u64) -> Vec<PeerPlan> {
+    let times = flash_crowd(n, 10.0, seed);
+    let caps = CapacityClasses::default().assign(n, seed ^ 0xA1);
+    plan_from(times, caps, fr_fraction, mode, seed)
+}
+
+/// Builds a trace-driven plan (§IV-E's continuous stream) of `n`
+/// arrivals.
+pub fn trace_plan(n: usize, fr_fraction: f64, mode: RiderMode, seed: u64) -> Vec<PeerPlan> {
+    let times = TraceModel::default().arrivals(n, seed);
+    let caps = CapacityClasses::default().assign(n, seed ^ 0xA1);
+    plan_from(times, caps, fr_fraction, mode, seed)
+}
+
+fn plan_from(
+    times: Vec<f64>,
+    caps: Vec<f64>,
+    fr_fraction: f64,
+    mode: RiderMode,
+    seed: u64,
+) -> Vec<PeerPlan> {
+    assert!((0.0..=1.0).contains(&fr_fraction), "free-rider fraction in [0,1]");
+    let n = times.len();
+    let fr_count = (fr_fraction * n as f64).round() as usize;
+    // Spread free-riders across the arrival order deterministically.
+    let mut is_fr = vec![false; n];
+    if fr_count > 0 {
+        let stride = n as f64 / fr_count as f64;
+        for i in 0..fr_count {
+            let idx = ((i as f64 + (seed % 7) as f64 / 7.0) * stride) as usize % n;
+            is_fr[idx] = true;
+        }
+        // Collisions from the modulo: top up from the start.
+        let mut placed = is_fr.iter().filter(|&&b| b).count();
+        let mut i = 0;
+        while placed < fr_count && i < n {
+            if !is_fr[i] {
+                is_fr[i] = true;
+                placed += 1;
+            }
+            i += 1;
+        }
+    }
+    times
+        .into_iter()
+        .zip(caps)
+        .zip(is_fr)
+        .map(|((at, capacity), fr)| {
+            let strategy = if fr {
+                match mode {
+                    RiderMode::Aggressive => Strategy::aggressive_free_rider(),
+                    RiderMode::Colluding => Strategy::colluding_free_rider(GroupId(0)),
+                }
+            } else {
+                Strategy::Compliant
+            };
+            PeerPlan { at, capacity, strategy }
+        })
+        .collect()
+}
+
+/// Uniform result bundle for one protocol run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// Per-leecher download durations of finished compliant leechers,
+    /// ordered by completion time.
+    pub compliant_times: Vec<f64>,
+    /// Same for free-riders.
+    pub free_rider_times: Vec<f64>,
+    /// Compliant leechers that never finished.
+    pub unfinished_compliant: usize,
+    /// Free-rider identities that never finished.
+    pub unfinished_free_riders: usize,
+    /// Mean uplink utilization over compliant leechers (Fig. 3(b)).
+    pub uplink_utilization: f64,
+    /// Fairness factors of finished compliant leechers, ordered by
+    /// completion time (Fig. 12).
+    pub fairness: Vec<f64>,
+    /// Mean per-leecher useful download throughput in bytes/s over
+    /// compliant leechers (Fig. 13).
+    pub mean_goodput: f64,
+    /// Wall-clock of the simulated run in seconds.
+    pub sim_time: f64,
+}
+
+/// Extra horizon to run past compliant completion so baseline free-riders
+/// can finish (their Fig. 7(b) completion times are far beyond the
+/// compliant ones).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Horizon {
+    /// Stop when all planned compliant leechers finished.
+    CompliantDone,
+    /// Run to a fixed simulated time.
+    Fixed(f64),
+    /// Compliant done, then keep going up to the given simulated time so
+    /// free-riders can (maybe) finish.
+    ExtendForFreeRiders(f64),
+    /// Run until this many compliant completions (or the time bound) —
+    /// the §IV-E trace methodology ("the first 1,000 compliant leechers
+    /// that successfully completed").
+    CompliantCount(usize, f64),
+}
+
+/// Per-run protocol options beyond the plan itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOpts {
+    /// Fraction of the file pre-loaded into compliant joiners (Fig. 6(b)).
+    pub initial_piece_fraction: f64,
+    /// Replace finishing leechers with newcomers (Fig. 13 churn).
+    pub replace_on_finish: bool,
+    /// Override the file with `n` pieces of 64 KB (Fig. 13's small
+    /// files); blocks stay at 16 KB for the block-based protocols.
+    pub custom_pieces: Option<usize>,
+}
+
+/// Runs one protocol over one plan and collects the uniform outcome.
+pub fn run_proto(
+    proto: Proto,
+    file_mib: f64,
+    plan: Vec<PeerPlan>,
+    seed: u64,
+    horizon: Horizon,
+    opts: RunOpts,
+) -> RunOutcome {
+    let spec = match opts.custom_pieces {
+        Some(n) => {
+            let piece = 64.0 * 1024.0;
+            let block = match proto {
+                Proto::TChain | Proto::Baseline(Baseline::FairTorrent) => piece,
+                _ => 16.0 * 1024.0,
+            };
+            FileSpec::custom(n, piece, block)
+        }
+        None => proto.file_spec(file_mib),
+    };
+    let scfg = SwarmConfig::paper(spec);
+    match proto {
+        Proto::TChain => {
+            let cfg = TChainConfig {
+                initial_piece_fraction: opts.initial_piece_fraction,
+                replace_on_finish: opts.replace_on_finish,
+                ..Default::default()
+            };
+            let mut sw = TChainSwarm::new(scfg, cfg, plan, seed);
+            match horizon {
+                Horizon::CompliantDone => sw.run_until_done(),
+                Horizon::Fixed(t) => sw.run_to(t),
+                Horizon::ExtendForFreeRiders(t) => {
+                    sw.run_until_done();
+                    if sw.base().clock.now() < t {
+                        sw.run_to(t);
+                    }
+                }
+                Horizon::CompliantCount(k, max_t) => {
+                    while sw.base().clock.now() < max_t
+                        && sw.completion_times(true).len() < k
+                    {
+                        let t = sw.base().clock.now() + 25.0;
+                        sw.run_to(t.min(max_t));
+                    }
+                }
+            }
+            let fr = sw.free_rider_results();
+            collect(sw.base(), spec.piece_size, fr, |p| p.fairness_factor())
+        }
+        Proto::Baseline(b) => {
+            let cfg = BaselineConfig {
+                initial_piece_fraction: opts.initial_piece_fraction,
+                replace_on_finish: opts.replace_on_finish,
+                ..Default::default()
+            };
+            let mut sw = BaselineSwarm::new(scfg, cfg, b, plan, seed);
+            match horizon {
+                Horizon::CompliantDone => sw.run_until_done(),
+                Horizon::Fixed(t) => sw.run_to(t),
+                Horizon::ExtendForFreeRiders(t) => {
+                    sw.run_until_done();
+                    if sw.base().clock.now() < t {
+                        sw.run_to(t);
+                    }
+                }
+                Horizon::CompliantCount(k, max_t) => {
+                    while sw.base().clock.now() < max_t
+                        && sw.completion_times(true).len() < k
+                    {
+                        let t = sw.base().clock.now() + 25.0;
+                        sw.run_to(t.min(max_t));
+                    }
+                }
+            }
+            let fr = sw.free_rider_results();
+            let flows = &sw.base().flows;
+            collect(sw.base(), spec.piece_size, fr, |p| {
+                let up = flows.uploaded(p.id);
+                if up > 0.0 {
+                    Some(flows.downloaded(p.id) / up)
+                } else {
+                    None
+                }
+            })
+        }
+    }
+}
+
+fn collect(
+    base: &tchain_proto::SwarmBase,
+    piece_size: f64,
+    free_rider_results: (Vec<f64>, usize),
+    fairness_of: impl Fn(&tchain_proto::Peer) -> Option<f64>,
+) -> RunOutcome {
+    let now = base.clock.now();
+    let mut compliant: Vec<(f64, f64, Option<f64>)> = Vec::new();
+    let (mut rider_durations, unfinished_free_riders) = free_rider_results;
+    let mut unfinished_compliant = 0;
+    let mut goodput_sum = 0.0;
+    let mut goodput_n = 0usize;
+    for p in base.peers.iter() {
+        if p.role != Role::Leecher {
+            continue;
+        }
+        match (p.compliant, p.done_time) {
+            (true, Some(d)) => compliant.push((d, d - p.join_time, fairness_of(p))),
+            (true, None) => unfinished_compliant += 1,
+            (false, _) => {} // free-riders handled by lineage above
+        }
+        if p.compliant {
+            let res = p.residence(now);
+            if res > 1.0 {
+                goodput_sum += p.pieces_down as f64 * piece_size / res;
+                goodput_n += 1;
+            }
+        }
+    }
+    compliant.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    rider_durations.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    RunOutcome {
+        compliant_times: compliant.iter().map(|c| c.1).collect(),
+        free_rider_times: rider_durations,
+        unfinished_compliant,
+        unfinished_free_riders,
+        uplink_utilization: base.mean_uplink_utilization(),
+        fairness: compliant.iter().filter_map(|c| c.2).collect(),
+        mean_goodput: if goodput_n == 0 { 0.0 } else { goodput_sum / goodput_n as f64 },
+        sim_time: now,
+    }
+}
+
+impl RunOutcome {
+    /// Mean compliant download completion time, if any finished.
+    pub fn mean_compliant(&self) -> Option<f64> {
+        mean(&self.compliant_times)
+    }
+
+    /// Mean free-rider completion time, if any finished.
+    pub fn mean_free_rider(&self) -> Option<f64> {
+        mean(&self.free_rider_times)
+    }
+}
+
+fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_plan_fractions() {
+        let plan = flash_plan(100, 0.25, RiderMode::Aggressive, 1);
+        assert_eq!(plan.len(), 100);
+        let frs = plan.iter().filter(|p| p.strategy.is_free_rider()).count();
+        assert_eq!(frs, 25);
+        assert!(plan.iter().all(|p| (0.0..10.0).contains(&p.at)));
+        assert!(plan.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn colluding_mode_registers_group() {
+        let plan = flash_plan(40, 0.5, RiderMode::Colluding, 2);
+        let all_colluders = plan
+            .iter()
+            .filter(|p| p.strategy.is_free_rider())
+            .all(|p| p.strategy.free_rider().unwrap().collude.is_some());
+        assert!(all_colluders);
+    }
+
+    #[test]
+    fn trace_plan_streams_arrivals() {
+        let plan = trace_plan(200, 0.0, RiderMode::Aggressive, 3);
+        assert_eq!(plan.len(), 200);
+        // Arrivals span far beyond a 10 s flash window.
+        assert!(plan.last().unwrap().at > 60.0);
+    }
+
+    #[test]
+    fn run_proto_smoke_tchain_and_bt() {
+        let plan = flash_plan(10, 0.0, RiderMode::Aggressive, 4);
+        for proto in [Proto::TChain, Proto::Baseline(Baseline::BitTorrent)] {
+            let out = run_proto(proto, 1.0, plan.clone(), 4, Horizon::CompliantDone, RunOpts::default());
+            assert_eq!(out.compliant_times.len(), 10, "{proto}: everyone finishes");
+            assert!(out.mean_compliant().unwrap() > 0.0);
+            assert!(out.uplink_utilization >= 0.0 && out.uplink_utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn custom_pieces_small_file() {
+        let plan = flash_plan(8, 0.0, RiderMode::Aggressive, 5);
+        let out = run_proto(
+            Proto::TChain,
+            1.0,
+            plan,
+            5,
+            Horizon::Fixed(300.0),
+            RunOpts { custom_pieces: Some(2), ..Default::default() },
+        );
+        assert!(out.compliant_times.len() <= 8);
+        assert!(out.sim_time >= 300.0);
+    }
+
+    #[test]
+    fn proto_file_specs() {
+        assert_eq!(Proto::TChain.file_spec(128.0).pieces, 2048);
+        assert_eq!(Proto::Baseline(Baseline::BitTorrent).file_spec(128.0).pieces, 512);
+        assert_eq!(Proto::main_four().len(), 4);
+        assert_eq!(Proto::with_random_bt().len(), 5);
+    }
+}

@@ -1,0 +1,20 @@
+//! # tchain-metrics — experiment statistics
+//!
+//! The measurement vocabulary of the paper's evaluation (§IV):
+//!
+//! * [`Summary`]/[`OnlineStats`] — means with 95 % Student-t confidence
+//!   intervals over seeded runs (every line plot);
+//! * [`Cdf`] — empirical CDFs (the Fig. 12 fairness-factor curves);
+//! * [`TimeSeries`] — sampled "X over time" traces (Fig. 5 piece
+//!   timelines, Fig. 10/11 chain counts).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdf;
+mod series;
+mod stats;
+
+pub use cdf::Cdf;
+pub use series::TimeSeries;
+pub use stats::{t_critical_95, OnlineStats, Summary};

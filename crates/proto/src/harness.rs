@@ -1,0 +1,282 @@
+//! Shared scaffolding for swarm protocol drivers.
+//!
+//! Every protocol evaluated in the paper (T-Chain, BitTorrent, PropShare,
+//! FairTorrent, Random BitTorrent) shares the same swarm mechanics: one
+//! persistent seeder, leechers that join via the tracker, maintain 30–55
+//! neighbors, announce completed pieces, and depart when done (§IV-A).
+//! [`SwarmBase`] bundles that state; the drivers in `tchain-core` and
+//! `tchain-baselines` layer their protocol logic on top.
+
+use crate::{Bitfield, FileSpec, Mesh, NeighborPolicy, PeerTable, PieceId, Role, Tracker};
+use tchain_sim::{Clock, Flow, FlowScheduler, NodeId, SimRng};
+
+/// Static configuration for one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SwarmConfig {
+    /// The shared file.
+    pub file: FileSpec,
+    /// Seeder upload capacity in bytes/s (paper: 6000 Kbps).
+    pub seeder_capacity: f64,
+    /// Neighbor-management constants.
+    pub policy: NeighborPolicy,
+    /// Simulation step in seconds.
+    pub dt: f64,
+    /// Hard stop for the run, in seconds.
+    pub max_time: f64,
+}
+
+impl SwarmConfig {
+    /// Paper defaults (§IV-A) for a given file size, with the piece layout
+    /// chosen per protocol family by the caller.
+    pub fn paper(file: FileSpec) -> Self {
+        SwarmConfig {
+            file,
+            seeder_capacity: tchain_sim::kbps(6000.0),
+            policy: NeighborPolicy::default(),
+            dt: 1.0,
+            max_time: 50_000.0,
+        }
+    }
+}
+
+/// The state every swarm driver owns: membership, mesh, tracker, bandwidth
+/// scheduler, clock and the run's RNG.
+#[derive(Debug)]
+pub struct SwarmBase {
+    /// Run configuration.
+    pub cfg: SwarmConfig,
+    /// Simulated clock.
+    pub clock: Clock,
+    /// All peers ever admitted.
+    pub peers: PeerTable,
+    /// Neighbor mesh + availability counts.
+    pub mesh: Mesh,
+    /// Membership registry.
+    pub tracker: Tracker,
+    /// Upload bandwidth model.
+    pub flows: FlowScheduler,
+    /// The run's random source.
+    pub rng: SimRng,
+}
+
+impl SwarmBase {
+    /// Creates an empty swarm (no seeder yet) for a seeded run.
+    pub fn new(cfg: SwarmConfig, seed: u64) -> Self {
+        SwarmBase {
+            cfg,
+            clock: Clock::new(cfg.dt),
+            peers: PeerTable::new(),
+            mesh: Mesh::new(cfg.file.pieces),
+            tracker: Tracker::new(),
+            flows: FlowScheduler::new(),
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Admits the (single) seeder. Must be called before leechers join.
+    pub fn admit_seeder(&mut self) -> NodeId {
+        self.admit(Role::Seeder, self.cfg.seeder_capacity, true)
+    }
+
+    /// Admits a peer: registers it with the tracker, installs its upload
+    /// capacity and connects it to an initial random neighbor list.
+    pub fn admit(&mut self, role: Role, capacity: f64, compliant: bool) -> NodeId {
+        self.admit_with_pieces(role, capacity, compliant, std::iter::empty())
+    }
+
+    /// Admits a peer that already holds some pieces — Fig. 6(b)'s
+    /// pre-occupied initial pieces, or a whitewashing attacker carrying its
+    /// progress into a fresh identity. Pieces are installed *before* the
+    /// peer connects so neighbors' availability counts stay consistent.
+    pub fn admit_with_pieces(
+        &mut self,
+        role: Role,
+        capacity: f64,
+        compliant: bool,
+        pieces: impl IntoIterator<Item = PieceId>,
+    ) -> NodeId {
+        let now = self.clock.now();
+        let id = self.peers.add(role, capacity, now, self.cfg.file.pieces, compliant);
+        for p in pieces {
+            self.peers.get_mut(id).have.set(p);
+        }
+        self.flows.set_capacity(id, capacity);
+        self.tracker.register(id);
+        self.acquire_neighbors(id, self.cfg.policy.max_neighbors);
+        id
+    }
+
+    /// Queries the tracker once and connects to returned members, up to
+    /// `cap` neighbors for `id` (pass `usize::MAX` for large-view
+    /// attackers who ignore the cap; the *other* side's cap still holds).
+    pub fn acquire_neighbors(&mut self, id: NodeId, cap: usize) {
+        let list = self.tracker.random_members(id, self.cfg.policy.list_size, &mut self.rng);
+        for m in list {
+            if self.mesh.degree(id) >= cap {
+                break;
+            }
+            if self.peers.alive(m) && self.mesh.degree(m) < self.cfg.policy.max_neighbors {
+                self.mesh.connect(id, m, &self.peers);
+            }
+        }
+    }
+
+    /// Re-queries the tracker when the neighbor count fell below the
+    /// refill threshold (§IV-A).
+    pub fn maybe_refill(&mut self, id: NodeId) {
+        if self.mesh.degree(id) < self.cfg.policy.refill_below {
+            self.acquire_neighbors(id, self.cfg.policy.max_neighbors);
+        }
+    }
+
+    /// Records that `id` completed (downloaded *and decrypted*) piece `p`:
+    /// sets the bit, bumps the download counter and broadcasts the `Have`.
+    /// Returns `true` if the peer now holds the entire file.
+    pub fn grant_piece(&mut self, id: NodeId, p: PieceId) -> bool {
+        let peer = self.peers.get_mut(id);
+        if peer.have.set(p) {
+            peer.pieces_down += 1;
+            self.mesh.announce(id, p);
+        }
+        self.peers.get(id).have.is_complete()
+    }
+
+    /// Removes a peer from the swarm: unregisters it, detaches it from the
+    /// mesh and cancels its flows. Returns `(outbound, inbound)` cancelled
+    /// flows so the driver can clean up protocol state (e.g. reassign a
+    /// payee per §II-B4).
+    pub fn depart(&mut self, id: NodeId) -> (Vec<Flow>, Vec<Flow>) {
+        debug_assert!(self.peers.alive(id), "departing peer must be alive");
+        self.peers.get_mut(id).left_time = Some(self.clock.now());
+        self.tracker.unregister(id);
+        self.mesh.remove(id, &self.peers);
+        let out = self.flows.cancel_all_from(id);
+        let inb = self.flows.cancel_all_to(id);
+        (out, inb)
+    }
+
+    /// Convenience: the bitfield of a peer (cloned views are avoided by
+    /// borrowing; use `peers.get(id).have` when no second borrow is live).
+    pub fn have(&self, id: NodeId) -> &Bitfield {
+        &self.peers.get(id).have
+    }
+
+    /// All leechers ever admitted have finished or left.
+    pub fn all_leechers_done(&self) -> bool {
+        self.peers
+            .iter()
+            .filter(|p| p.role == Role::Leecher)
+            .all(|p| p.done_time.is_some() || !p.alive())
+    }
+
+    /// Mean uplink utilization over compliant leechers that have departed
+    /// or finished: bytes uploaded divided by capacity × residence time
+    /// (Fig. 3(b)).
+    pub fn mean_uplink_utilization(&self) -> f64 {
+        let now = self.clock.now();
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for p in self.peers.iter() {
+            if p.role != Role::Leecher || !p.compliant || p.capacity <= 0.0 {
+                continue;
+            }
+            let res = p.residence(now);
+            if res <= 0.0 {
+                continue;
+            }
+            total += (self.flows.uploaded(p.id) / (p.capacity * res)).min(1.0);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tchain_sim::kbps;
+
+    fn base() -> SwarmBase {
+        let cfg = SwarmConfig::paper(FileSpec::tchain(1.0));
+        SwarmBase::new(cfg, 42)
+    }
+
+    #[test]
+    fn seeder_then_leechers_connect() {
+        let mut b = base();
+        let s = b.admit_seeder();
+        assert!(b.peers.get(s).have.is_complete());
+        let l1 = b.admit(Role::Leecher, kbps(400.0), true);
+        assert!(b.mesh.are_neighbors(l1, s), "first leecher connects to the only member");
+        let l2 = b.admit(Role::Leecher, kbps(1200.0), true);
+        assert!(b.mesh.degree(l2) == 2);
+    }
+
+    #[test]
+    fn grant_piece_announces_and_completes() {
+        let mut b = base();
+        let _s = b.admit_seeder();
+        let l = b.admit(Role::Leecher, kbps(400.0), true);
+        let pieces = b.cfg.file.pieces;
+        for i in 0..pieces as u32 {
+            let done = b.grant_piece(l, PieceId(i));
+            assert_eq!(done, i as usize == pieces - 1);
+        }
+        assert_eq!(b.peers.get(l).pieces_down as usize, pieces);
+    }
+
+    #[test]
+    fn depart_cleans_up() {
+        let mut b = base();
+        let s = b.admit_seeder();
+        let l = b.admit(Role::Leecher, kbps(400.0), true);
+        b.flows.start(s, l, 100.0, 1.0, 0);
+        b.flows.start(l, s, 100.0, 1.0, 0);
+        let (out, inb) = b.depart(l);
+        assert_eq!(out.len(), 1);
+        assert_eq!(inb.len(), 1);
+        assert!(!b.peers.alive(l));
+        assert!(!b.tracker.contains(l));
+        assert_eq!(b.mesh.degree(s), 0);
+    }
+
+    #[test]
+    fn refill_queries_when_below_threshold() {
+        let mut b = base();
+        b.admit_seeder();
+        for _ in 0..40 {
+            b.admit(Role::Leecher, kbps(400.0), true);
+        }
+        let l = b.admit(Role::Leecher, kbps(400.0), true);
+        // Disconnect everyone; refill should restore at least refill_below.
+        let ns: Vec<_> = b.mesh.neighbors(l).to_vec();
+        for n in ns {
+            b.mesh.disconnect(l, n, &b.peers);
+        }
+        assert_eq!(b.mesh.degree(l), 0);
+        b.maybe_refill(l);
+        assert!(b.mesh.degree(l) >= 30, "degree {}", b.mesh.degree(l));
+    }
+
+    #[test]
+    fn utilization_counts_only_compliant_leechers() {
+        let mut b = base();
+        let s = b.admit_seeder();
+        let l = b.admit(Role::Leecher, 100.0, true);
+        let f = b.admit(Role::Leecher, 0.0, false);
+        // l uploads at full capacity for 10 s.
+        b.flows.start(l, s, 2000.0, 1.0, 0);
+        let mut done = Vec::new();
+        for _ in 0..10 {
+            b.clock.tick();
+            b.flows.advance(1.0, &mut done);
+        }
+        let u = b.mean_uplink_utilization();
+        assert!((u - 1.0).abs() < 1e-6, "one fully-utilized compliant leecher: {u}");
+        let _ = f;
+    }
+}

@@ -1,0 +1,34 @@
+//! # tchain-proto — the swarm substrate
+//!
+//! Everything every protocol driver shares, rebuilt from the BitTorrent
+//! mechanics the paper assumes (§II-A, §IV-A):
+//!
+//! * [`FileSpec`]/[`PieceId`]/[`Bitfield`] — the shared file, its pieces
+//!   and per-peer completion sets, with the word-parallel interest tests
+//!   (`wants_from`) that payee selection leans on;
+//! * [`Peer`]/[`PeerTable`]/[`Role`] — swarm membership with join/leave
+//!   and completion bookkeeping;
+//! * [`Mesh`] — neighbor relations plus incremental piece-availability
+//!   counts and Local-Rarest-First selection;
+//! * [`Tracker`]/[`NeighborPolicy`] — 50-member random lists, refill below
+//!   30 neighbors, 55-neighbor cap.
+//!
+//! Protocol logic (unchoking, deficits, T-Chain transactions) lives in
+//! `tchain-baselines` and `tchain-core`, in drivers layered on this crate
+//! and on `tchain-sim`'s flow scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod harness;
+mod mesh;
+mod peer;
+mod piece;
+mod tracker;
+pub mod wire;
+
+pub use harness::{SwarmBase, SwarmConfig};
+pub use mesh::Mesh;
+pub use peer::{Peer, PeerTable, Role};
+pub use piece::{Bitfield, FileSpec, PieceId};
+pub use tracker::{NeighborPolicy, Tracker};

@@ -1,0 +1,203 @@
+//! The tracker: random membership lists.
+//!
+//! Per §IV-A: "Each leecher requests a list of 50 randomly selected
+//! neighbors from the tracker upon arrival, and whenever its list of
+//! neighbors falls below 30. Leechers maintain at most 55 neighbors."
+//! The large-view exploit (§IV-C) abuses exactly this interface by
+//! re-querying every rechoke period.
+
+use std::collections::HashMap;
+use tchain_sim::{NodeId, SimRng};
+
+/// Neighbor-management constants from §IV-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborPolicy {
+    /// Members returned per tracker query.
+    pub list_size: usize,
+    /// Re-query the tracker when the neighbor count falls below this.
+    pub refill_below: usize,
+    /// Hard cap on concurrent neighbors.
+    pub max_neighbors: usize,
+}
+
+impl Default for NeighborPolicy {
+    fn default() -> Self {
+        NeighborPolicy { list_size: 50, refill_below: 30, max_neighbors: 55 }
+    }
+}
+
+/// Swarm membership registry with O(1) join/leave and O(k) random samples.
+#[derive(Debug, Default)]
+pub struct Tracker {
+    members: Vec<NodeId>,
+    pos: HashMap<NodeId, usize>,
+    queries: u64,
+}
+
+impl Tracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a peer. Re-registering is a no-op.
+    pub fn register(&mut self, id: NodeId) {
+        if self.pos.contains_key(&id) {
+            return;
+        }
+        self.pos.insert(id, self.members.len());
+        self.members.push(id);
+    }
+
+    /// Unregisters a departed peer. Unknown ids are a no-op.
+    pub fn unregister(&mut self, id: NodeId) {
+        if let Some(i) = self.pos.remove(&id) {
+            let last = self.members.len() - 1;
+            self.members.swap(i, last);
+            self.members.pop();
+            if i < self.members.len() {
+                self.pos.insert(self.members[i], i);
+            }
+        }
+    }
+
+    /// Number of registered members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when nobody is registered.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `id` is registered.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.pos.contains_key(&id)
+    }
+
+    /// Total queries served (per-run bookkeeping; the large-view exploit
+    /// shows up as an outsized query count).
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Returns up to `k` distinct random members, excluding `requester`.
+    pub fn random_members(&mut self, requester: NodeId, k: usize, rng: &mut SimRng) -> Vec<NodeId> {
+        self.queries += 1;
+        let pool = self.members.len();
+        if pool == 0 {
+            return Vec::new();
+        }
+        // If we'd return most of the swarm anyway, shuffle outright;
+        // otherwise rejection-sample indices (O(k) expected).
+        let effective = pool - usize::from(self.contains(requester));
+        let k = k.min(effective);
+        if k == 0 {
+            return Vec::new();
+        }
+        if k * 3 >= pool {
+            let mut all: Vec<NodeId> =
+                self.members.iter().copied().filter(|&m| m != requester).collect();
+            rng.shuffle(&mut all);
+            all.truncate(k);
+            all
+        } else {
+            let mut out = Vec::with_capacity(k);
+            let mut seen = std::collections::HashSet::with_capacity(k * 2);
+            while out.len() < k {
+                let m = self.members[rng.below(pool)];
+                if m != requester && seen.insert(m) {
+                    out.push(m);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn register_unregister() {
+        let mut t = Tracker::new();
+        for i in 0..10 {
+            t.register(n(i));
+        }
+        t.register(n(5)); // duplicate
+        assert_eq!(t.len(), 10);
+        t.unregister(n(3));
+        t.unregister(n(3));
+        assert_eq!(t.len(), 9);
+        assert!(!t.contains(n(3)));
+        assert!(t.contains(n(9)));
+        t.unregister(n(99)); // unknown: no-op
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn samples_exclude_requester_and_are_distinct() {
+        let mut t = Tracker::new();
+        let mut rng = SimRng::new(0);
+        for i in 0..100 {
+            t.register(n(i));
+        }
+        for _ in 0..50 {
+            let s = t.random_members(n(7), 50, &mut rng);
+            assert_eq!(s.len(), 50);
+            assert!(!s.contains(&n(7)));
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 50);
+        }
+    }
+
+    #[test]
+    fn small_swarm_returns_everyone_else() {
+        let mut t = Tracker::new();
+        let mut rng = SimRng::new(0);
+        t.register(n(0));
+        t.register(n(1));
+        t.register(n(2));
+        let s = t.random_members(n(0), 50, &mut rng);
+        assert_eq!(s.len(), 2);
+        let s = t.random_members(n(99), 50, &mut rng);
+        assert_eq!(s.len(), 3, "outsider sees everyone");
+    }
+
+    #[test]
+    fn empty_tracker_returns_nothing() {
+        let mut t = Tracker::new();
+        let mut rng = SimRng::new(0);
+        assert!(t.random_members(n(0), 50, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn samples_cover_the_swarm() {
+        let mut t = Tracker::new();
+        let mut rng = SimRng::new(0);
+        for i in 0..200 {
+            t.register(n(i));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            for m in t.random_members(n(0), 20, &mut rng) {
+                seen.insert(m);
+            }
+        }
+        assert!(seen.len() > 150, "sampling should reach most members, got {}", seen.len());
+    }
+
+    #[test]
+    fn default_policy_matches_paper() {
+        let p = NeighborPolicy::default();
+        assert_eq!((p.list_size, p.refill_below, p.max_neighbors), (50, 30, 55));
+    }
+}

@@ -1,0 +1,283 @@
+//! Wire format for T-Chain's control messages.
+//!
+//! The simulator moves accounting rather than bytes, but a deployable
+//! client needs a concrete encoding of Fig. 1's messages — and §III-C's
+//! overhead argument rests on reports and keys being tiny next to 64 KB
+//! pieces. This module pins those sizes down: a fixed little-endian
+//! header plus payload, with strict parsing (trailing bytes rejected).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [0]      message tag
+//! [1..]    per-message fields (see each variant)
+//! ```
+
+use crate::PieceId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tchain_sim::NodeId;
+
+/// Size in bytes of a key-release payload (256-bit key + 96-bit nonce).
+pub const KEY_WIRE_SIZE: usize = 44;
+
+/// A T-Chain control message (Fig. 1, Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// `[(i(j−1), D_{j−1}) | K[p_ij] | P_j]` — an (encrypted) piece
+    /// upload header. The ciphertext itself travels out of band (it *is*
+    /// the bulk transfer); this header carries the protocol fields.
+    PieceUpload {
+        /// Which earlier transaction this upload reciprocates, if any:
+        /// `(piece, donor)` of the previous transaction.
+        reciprocates: Option<(PieceId, NodeId)>,
+        /// The piece being uploaded.
+        piece: PieceId,
+        /// The payee the recipient must reciprocate to; `None` means the
+        /// upload is unencrypted and the chain terminates (§II-B3).
+        payee: Option<NodeId>,
+        /// Ciphertext length in bytes (for accounting/validation).
+        ciphertext_len: u32,
+    },
+    /// `r_P = [R | i]` — the payee's reception report to the donor.
+    ReceptionReport {
+        /// Who reciprocated (the requestor being vouched for).
+        requestor: NodeId,
+        /// The piece the report covers.
+        piece: PieceId,
+    },
+    /// The donor's key release to the requestor.
+    KeyRelease {
+        /// The piece the key decrypts.
+        piece: PieceId,
+        /// Raw key material (key ‖ nonce).
+        key: [u8; KEY_WIRE_SIZE],
+    },
+    /// `B → P`: neighboring request sent before reciprocating to a payee
+    /// that is not yet a neighbor (§II-B1).
+    NeighborRequest {
+        /// The requesting peer.
+        from: NodeId,
+    },
+}
+
+const TAG_PIECE_UPLOAD: u8 = 1;
+const TAG_RECEPTION_REPORT: u8 = 2;
+const TAG_KEY_RELEASE: u8 = 3;
+const TAG_NEIGHBOR_REQUEST: u8 = 4;
+
+/// Errors from [`Message::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer was shorter than the message demands.
+    Truncated,
+    /// Unknown message tag.
+    UnknownTag(u8),
+    /// Bytes remained after a complete message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Message {
+    /// Encodes the message into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        match *self {
+            Message::PieceUpload { reciprocates, piece, payee, ciphertext_len } => {
+                b.put_u8(TAG_PIECE_UPLOAD);
+                match reciprocates {
+                    Some((p, d)) => {
+                        b.put_u8(1);
+                        b.put_u32_le(p.0);
+                        b.put_u32_le(d.0);
+                    }
+                    None => b.put_u8(0),
+                }
+                b.put_u32_le(piece.0);
+                match payee {
+                    Some(p) => {
+                        b.put_u8(1);
+                        b.put_u32_le(p.0);
+                    }
+                    None => b.put_u8(0),
+                }
+                b.put_u32_le(ciphertext_len);
+            }
+            Message::ReceptionReport { requestor, piece } => {
+                b.put_u8(TAG_RECEPTION_REPORT);
+                b.put_u32_le(requestor.0);
+                b.put_u32_le(piece.0);
+            }
+            Message::KeyRelease { piece, ref key } => {
+                b.put_u8(TAG_KEY_RELEASE);
+                b.put_u32_le(piece.0);
+                b.put_slice(key);
+            }
+            Message::NeighborRequest { from } => {
+                b.put_u8(TAG_NEIGHBOR_REQUEST);
+                b.put_u32_le(from.0);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Exact encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::PieceUpload { reciprocates, payee, .. } => {
+                1 + 1
+                    + if reciprocates.is_some() { 8 } else { 0 }
+                    + 4
+                    + 1
+                    + if payee.is_some() { 4 } else { 0 }
+                    + 4
+            }
+            Message::ReceptionReport { .. } => 1 + 8,
+            Message::KeyRelease { .. } => 1 + 4 + KEY_WIRE_SIZE,
+            Message::NeighborRequest { .. } => 1 + 4,
+        }
+    }
+
+    /// Decodes a message, rejecting truncated or over-long buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the buffer is malformed.
+    pub fn decode(mut buf: &[u8]) -> Result<Message, DecodeError> {
+        fn need(buf: &[u8], n: usize) -> Result<(), DecodeError> {
+            if buf.remaining() < n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        }
+        need(buf, 1)?;
+        let tag = buf.get_u8();
+        let msg = match tag {
+            TAG_PIECE_UPLOAD => {
+                need(buf, 1)?;
+                let reciprocates = if buf.get_u8() == 1 {
+                    need(buf, 8)?;
+                    Some((PieceId(buf.get_u32_le()), NodeId(buf.get_u32_le())))
+                } else {
+                    None
+                };
+                need(buf, 4)?;
+                let piece = PieceId(buf.get_u32_le());
+                need(buf, 1)?;
+                let payee = if buf.get_u8() == 1 {
+                    need(buf, 4)?;
+                    Some(NodeId(buf.get_u32_le()))
+                } else {
+                    None
+                };
+                need(buf, 4)?;
+                let ciphertext_len = buf.get_u32_le();
+                Message::PieceUpload { reciprocates, piece, payee, ciphertext_len }
+            }
+            TAG_RECEPTION_REPORT => {
+                need(buf, 8)?;
+                Message::ReceptionReport {
+                    requestor: NodeId(buf.get_u32_le()),
+                    piece: PieceId(buf.get_u32_le()),
+                }
+            }
+            TAG_KEY_RELEASE => {
+                need(buf, 4 + KEY_WIRE_SIZE)?;
+                let piece = PieceId(buf.get_u32_le());
+                let mut key = [0u8; KEY_WIRE_SIZE];
+                buf.copy_to_slice(&mut key);
+                Message::KeyRelease { piece, key }
+            }
+            TAG_NEIGHBOR_REQUEST => {
+                need(buf, 4)?;
+                Message::NeighborRequest { from: NodeId(buf.get_u32_le()) }
+            }
+            t => return Err(DecodeError::UnknownTag(t)),
+        };
+        if buf.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes(buf.remaining()));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let enc = m.encode();
+        assert_eq!(enc.len(), m.encoded_len());
+        assert_eq!(Message::decode(&enc).unwrap(), m);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::PieceUpload {
+            reciprocates: Some((PieceId(7), NodeId(3))),
+            piece: PieceId(99),
+            payee: Some(NodeId(12)),
+            ciphertext_len: 65536,
+        });
+        roundtrip(Message::PieceUpload {
+            reciprocates: None,
+            piece: PieceId(0),
+            payee: None,
+            ciphertext_len: 65536,
+        });
+        roundtrip(Message::ReceptionReport { requestor: NodeId(1), piece: PieceId(2) });
+        roundtrip(Message::KeyRelease { piece: PieceId(3), key: [0xAB; KEY_WIRE_SIZE] });
+        roundtrip(Message::NeighborRequest { from: NodeId(42) });
+    }
+
+    #[test]
+    fn control_messages_are_tiny_next_to_pieces() {
+        // §III-C2: "the reception report and the key uploaded are very
+        // small in size compared to file pieces".
+        let report = Message::ReceptionReport { requestor: NodeId(1), piece: PieceId(2) };
+        let key = Message::KeyRelease { piece: PieceId(3), key: [0; KEY_WIRE_SIZE] };
+        let piece_bytes = 64.0 * 1024.0;
+        assert!((report.encoded_len() as f64) < piece_bytes * 0.001);
+        assert!((key.encoded_len() as f64) < piece_bytes * 0.001);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let m = Message::KeyRelease { piece: PieceId(3), key: [1; KEY_WIRE_SIZE] };
+        let enc = m.encode();
+        for cut in 0..enc.len() {
+            assert_eq!(Message::decode(&enc[..cut]), Err(DecodeError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = Message::NeighborRequest { from: NodeId(5) }.encode().to_vec();
+        enc.push(0);
+        assert_eq!(Message::decode(&enc), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(Message::decode(&[200]), Err(DecodeError::UnknownTag(200)));
+        assert!(Message::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert_eq!(DecodeError::Truncated.to_string(), "message truncated");
+        assert_eq!(DecodeError::UnknownTag(9).to_string(), "unknown message tag 9");
+        assert_eq!(DecodeError::TrailingBytes(2).to_string(), "2 trailing bytes after message");
+    }
+}

@@ -1,0 +1,163 @@
+//! `tchain` — command-line swarm simulator.
+//!
+//! ```sh
+//! tchain --protocol tchain --peers 100 --file-mib 8 --free-riders 0.25
+//! tchain --protocol fairtorrent --peers 60 --collude --seed 7
+//! tchain --list-protocols
+//! ```
+
+use tchain::baselines::Baseline;
+use tchain::experiments::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts};
+
+#[derive(Debug)]
+struct Args {
+    protocol: Proto,
+    peers: usize,
+    file_mib: f64,
+    free_riders: f64,
+    collude: bool,
+    seed: u64,
+    horizon: Option<f64>,
+}
+
+const USAGE: &str = "tchain — T-Chain swarm simulator (ICDCS'15 reproduction)
+
+USAGE:
+    tchain [OPTIONS]
+
+OPTIONS:
+    --protocol <p>      tchain | bittorrent | propshare | fairtorrent | random-bt
+                        (default: tchain)
+    --peers <n>         leechers joining as a flash crowd     (default: 60)
+    --file-mib <f>      shared file size in MiB               (default: 4)
+    --free-riders <x>   fraction of zero-upload free-riders   (default: 0)
+    --collude           free-riders send false reception reports (T-Chain attack)
+    --seed <s>          RNG seed                              (default: 42)
+    --horizon <t>       stop at simulated time t instead of at completion
+    --list-protocols    print the protocol names and exit
+    -h, --help          this text
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        protocol: Proto::TChain,
+        peers: 60,
+        file_mib: 4.0,
+        free_riders: 0.0,
+        collude: false,
+        seed: 42,
+        horizon: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--protocol" => {
+                args.protocol = match value("--protocol")?.to_lowercase().as_str() {
+                    "tchain" | "t-chain" => Proto::TChain,
+                    "bittorrent" | "bt" => Proto::Baseline(Baseline::BitTorrent),
+                    "propshare" => Proto::Baseline(Baseline::PropShare),
+                    "fairtorrent" => Proto::Baseline(Baseline::FairTorrent),
+                    "random-bt" | "randombt" => Proto::Baseline(Baseline::RandomBt),
+                    other => return Err(format!("unknown protocol '{other}'")),
+                }
+            }
+            "--peers" => {
+                args.peers =
+                    value("--peers")?.parse().map_err(|e| format!("--peers: {e}"))?
+            }
+            "--file-mib" => {
+                args.file_mib =
+                    value("--file-mib")?.parse().map_err(|e| format!("--file-mib: {e}"))?
+            }
+            "--free-riders" => {
+                args.free_riders = value("--free-riders")?
+                    .parse()
+                    .map_err(|e| format!("--free-riders: {e}"))?
+            }
+            "--collude" => args.collude = true,
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--horizon" => {
+                args.horizon =
+                    Some(value("--horizon")?.parse().map_err(|e| format!("--horizon: {e}"))?)
+            }
+            "--list-protocols" => {
+                for p in Proto::with_random_bt() {
+                    println!("{p}");
+                }
+                std::process::exit(0);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.peers == 0 {
+        return Err("--peers must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&args.free_riders) {
+        return Err("--free-riders must be in [0, 1]".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mode = if args.collude { RiderMode::Colluding } else { RiderMode::Aggressive };
+    let plan = flash_plan(args.peers, args.free_riders, mode, args.seed);
+    let horizon = match args.horizon {
+        Some(t) => Horizon::Fixed(t),
+        None if args.free_riders > 0.0 => Horizon::ExtendForFreeRiders(20_000.0),
+        None => Horizon::CompliantDone,
+    };
+    println!(
+        "{} — {} leechers, {:.0}% free-riders{}, {} MiB, seed {}",
+        args.protocol,
+        args.peers,
+        args.free_riders * 100.0,
+        if args.collude { " (colluding)" } else { "" },
+        args.file_mib,
+        args.seed
+    );
+    let out = run_proto(args.protocol, args.file_mib, plan, args.seed, horizon, RunOpts::default());
+    println!("simulated time        : {:.0} s", out.sim_time);
+    match out.mean_compliant() {
+        Some(m) => println!(
+            "compliant leechers    : {} finished, mean {:.1} s",
+            out.compliant_times.len(),
+            m
+        ),
+        None => println!("compliant leechers    : none finished"),
+    }
+    if args.free_riders > 0.0 {
+        match out.mean_free_rider() {
+            Some(m) => println!(
+                "free-riders           : {} finished, mean {:.1} s ({} never did)",
+                out.free_rider_times.len(),
+                m,
+                out.unfinished_free_riders
+            ),
+            None => println!(
+                "free-riders           : NONE finished ({} lineages starved)",
+                out.unfinished_free_riders
+            ),
+        }
+    }
+    println!("uplink utilization    : {:.1} %", out.uplink_utilization * 100.0);
+    if !out.fairness.is_empty() {
+        let mean = out.fairness.iter().sum::<f64>() / out.fairness.len() as f64;
+        println!("mean fairness factor  : {mean:.2}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Full-stack determinism: identical seeds must reproduce identical runs
+//! — the property every §IV mean-and-CI plot rests on.
+
+use tchain_experiments::{flash_plan, run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts};
+
+fn fingerprint(out: &tchain_experiments::RunOutcome) -> (usize, usize, u64, u64) {
+    let sum: f64 = out.compliant_times.iter().sum();
+    let fr_sum: f64 = out.free_rider_times.iter().sum();
+    (out.compliant_times.len(), out.free_rider_times.len(), sum.to_bits(), fr_sum.to_bits())
+}
+
+#[test]
+fn same_seed_bitwise_identical_tchain() {
+    let mk = || {
+        let plan = flash_plan(20, 0.25, RiderMode::Colluding, 9);
+        run_proto(Proto::TChain, 1.0, plan, 9, Horizon::ExtendForFreeRiders(2000.0), RunOpts::default())
+    };
+    assert_eq!(fingerprint(&mk()), fingerprint(&mk()));
+}
+
+#[test]
+fn same_seed_bitwise_identical_baselines() {
+    for b in tchain_baselines::Baseline::all() {
+        let mk = || {
+            let plan = trace_plan(25, 0.2, RiderMode::Aggressive, 11);
+            run_proto(
+                Proto::Baseline(b),
+                1.0,
+                plan,
+                11,
+                Horizon::Fixed(600.0),
+                RunOpts::default(),
+            )
+        };
+        assert_eq!(fingerprint(&mk()), fingerprint(&mk()), "{b}");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mk = |seed| {
+        let plan = flash_plan(20, 0.0, RiderMode::Aggressive, seed);
+        run_proto(Proto::TChain, 1.0, plan, seed, Horizon::CompliantDone, RunOpts::default())
+    };
+    assert_ne!(fingerprint(&mk(1)), fingerprint(&mk(2)));
+}
