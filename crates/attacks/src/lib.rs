@@ -160,17 +160,28 @@ pub struct PeerPlan {
     pub capacity: f64,
     /// Behaviour.
     pub strategy: Strategy,
+    /// Abrupt crash time, if scheduled: the peer dies silently at this
+    /// time — no goodbye, no §II-B4 handover — exercising the drivers'
+    /// timeout/escrow recovery. Composable with any [`Strategy`], so a
+    /// free-rider can also crash mid-attack.
+    pub crash_at: Option<f64>,
 }
 
 impl PeerPlan {
     /// A compliant leecher.
     pub fn compliant(at: f64, capacity: f64) -> Self {
-        PeerPlan { at, capacity, strategy: Strategy::Compliant }
+        PeerPlan { at, capacity, strategy: Strategy::Compliant, crash_at: None }
     }
 
     /// A §IV-C aggressive free-rider (zero upload, large-view, whitewash).
     pub fn free_rider(at: f64, capacity: f64) -> Self {
-        PeerPlan { at, capacity, strategy: Strategy::aggressive_free_rider() }
+        PeerPlan { at, capacity, strategy: Strategy::aggressive_free_rider(), crash_at: None }
+    }
+
+    /// Schedules an abrupt crash at the given time.
+    pub fn crashing_at(mut self, at: f64) -> Self {
+        self.crash_at = Some(at);
+        self
     }
 
     /// Effective upload capacity after applying the strategy.
@@ -220,6 +231,16 @@ mod tests {
         r.unregister(b);
         assert!(!r.same_group(a, b), "retired identities stop colluding");
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn crash_schedule_composes_with_strategies() {
+        let p = PeerPlan::compliant(1.0, 100.0);
+        assert_eq!(p.crash_at, None, "no crash by default");
+        let c = PeerPlan::free_rider(1.0, 100.0).crashing_at(30.0);
+        assert_eq!(c.crash_at, Some(30.0));
+        assert!(c.strategy.is_free_rider(), "crash composes with free-riding");
+        assert_eq!(c.effective_capacity(), 0.0);
     }
 
     #[test]

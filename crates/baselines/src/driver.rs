@@ -12,9 +12,9 @@
 use crate::config::{Baseline, BaselineConfig};
 use std::collections::{HashMap, HashSet};
 use tchain_attacks::{PeerPlan, Strategy};
-use tchain_metrics::TimeSeries;
+use tchain_metrics::{RecoveryCounters, TimeSeries};
 use tchain_proto::{PieceId, Role, SwarmBase, SwarmConfig};
-use tchain_sim::{Flow, FlowId, NodeId, Periodic};
+use tchain_sim::{FaultPlan, Flow, FlowId, NodeId, Periodic, Route};
 
 #[derive(Debug, Default)]
 struct BtState {
@@ -91,6 +91,8 @@ pub struct BaselineSwarm {
     leecher_series: TimeSeries,
     completed_buf: Vec<Flow>,
     blocks_moved: u64,
+    planned_crashes: Vec<(f64, NodeId)>,
+    crashes: u64,
 }
 
 impl BaselineSwarm {
@@ -103,12 +105,29 @@ impl BaselineSwarm {
         scfg: SwarmConfig,
         cfg: BaselineConfig,
         policy: Baseline,
-        mut plan: Vec<PeerPlan>,
+        plan: Vec<PeerPlan>,
         seed: u64,
     ) -> Self {
+        Self::with_faults(scfg, cfg, policy, plan, seed, FaultPlan::none())
+    }
+
+    /// Builds a baseline swarm under a fault-injection plan. Baselines
+    /// have no report/key control plane; faults manifest as lost
+    /// unchoke/block-start messages (the transfer simply does not start
+    /// this round and is retried at the next rechoke), lost tracker
+    /// queries, and abrupt peer crashes. [`FaultPlan::none()`] reproduces
+    /// [`BaselineSwarm::new`] bit for bit.
+    pub fn with_faults(
+        scfg: SwarmConfig,
+        cfg: BaselineConfig,
+        policy: Baseline,
+        mut plan: Vec<PeerPlan>,
+        seed: u64,
+        fplan: FaultPlan,
+    ) -> Self {
         cfg.validate();
-        plan.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite join times"));
-        let mut base = SwarmBase::new(scfg, seed);
+        plan.sort_by(|a, b| a.at.total_cmp(&b.at));
+        let mut base = SwarmBase::with_faults(scfg, seed, fplan);
         let seeder = base.admit_seeder();
         let mut sw = BaselineSwarm {
             base,
@@ -125,6 +144,8 @@ impl BaselineSwarm {
             leecher_series: TimeSeries::new(),
             completed_buf: Vec::new(),
             blocks_moved: 0,
+            planned_crashes: Vec::new(),
+            crashes: 0,
         };
         sw.ensure_state(seeder);
         sw
@@ -153,6 +174,21 @@ impl BaselineSwarm {
     /// Blocks transferred so far.
     pub fn blocks_moved(&self) -> u64 {
         self.blocks_moved
+    }
+
+    /// Recovery/fault counters (delivery statistics from the fault layer
+    /// plus crash tallies). Baselines have no retry machinery — a lost
+    /// block-start is simply retried at the next rechoke round.
+    pub fn recovery_counters(&self) -> RecoveryCounters {
+        let fs = self.base.faults.stats();
+        RecoveryCounters {
+            ctrl_sent: fs.sent,
+            ctrl_dropped: fs.dropped + fs.partition_dropped,
+            ctrl_delayed: fs.delayed,
+            tracker_dropped: fs.tracker_dropped,
+            crashes: self.crashes,
+            ..RecoveryCounters::default()
+        }
     }
 
     /// `(time, alive leechers)` census samples.
@@ -257,6 +293,7 @@ impl BaselineSwarm {
     /// Advances the simulation by one step.
     pub fn step(&mut self) {
         let now = self.base.clock.tick();
+        self.process_crashes(now);
         self.process_arrivals(now);
         if self.rechoke_timer.fire(now) {
             self.rechoke_round(now);
@@ -289,6 +326,46 @@ impl BaselineSwarm {
         if id.index() >= self.states.len() {
             self.states.resize_with(id.index() + 1, BtState::default);
         }
+    }
+
+    /// Fires due crash events ([`PeerPlan::crash_at`] schedules and
+    /// [`FaultPlan`] fraction events). Baselines carry no escrowed keys,
+    /// so a crash is a graceful departure minus the goodbye — the same
+    /// state cleanup, counted separately.
+    fn process_crashes(&mut self, now: f64) {
+        if !self.planned_crashes.is_empty() {
+            let mut i = 0;
+            while i < self.planned_crashes.len() {
+                if self.planned_crashes[i].0 <= now {
+                    let (_, id) = self.planned_crashes.swap_remove(i);
+                    if self.base.peers.alive(id) {
+                        self.crash_peer(id);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if self.base.faults.crash_due(now) {
+            let alive: Vec<NodeId> = self
+                .base
+                .peers
+                .iter_alive()
+                .filter(|p| p.role == Role::Leecher)
+                .map(|p| p.id)
+                .collect();
+            let victims = self.base.faults.crash_victims(now, &alive);
+            for v in victims {
+                if self.base.peers.alive(v) {
+                    self.crash_peer(v);
+                }
+            }
+        }
+    }
+
+    fn crash_peer(&mut self, id: NodeId) {
+        self.crashes += 1;
+        self.remove_peer(id);
     }
 
     fn process_arrivals(&mut self, now: f64) {
@@ -341,6 +418,9 @@ impl BaselineSwarm {
         st.strategy = plan.strategy;
         st.planned_capacity = plan.capacity;
         st.lineage = Some(lineage.unwrap_or((id, now)));
+        if let Some(at) = plan.crash_at {
+            self.planned_crashes.push((at.max(now), id));
+        }
         id
     }
 
@@ -389,6 +469,7 @@ impl BaselineSwarm {
             at: now + 5.0,
             capacity: self.states[id.index()].planned_capacity,
             strategy: self.states[id.index()].strategy,
+            crash_at: None,
         };
         let lineage = self.states[id.index()].lineage;
         self.remove_peer(id);
@@ -456,7 +537,7 @@ impl BaselineSwarm {
                 (self.states[id.index()].window_prev.get(&n).copied().unwrap_or(0.0), n)
             })
             .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite bytes"));
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut set: Vec<NodeId> =
             ranked.iter().take_while(|(b, _)| *b > 0.0).take(k).map(|&(_, n)| n).collect();
         // Fill the remaining regular slots with random interested peers
@@ -616,7 +697,7 @@ impl BaselineSwarm {
                 .map(|n| (self.states[u.index()].deficits.get(&n).copied().unwrap_or(0.0), n))
                 .collect()
         };
-        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deficits"));
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
         for (_, d) in ranked {
             if self.try_start_block(u, d) && self.states[u.index()].serving.len() >= 2 {
                 return;
@@ -636,6 +717,17 @@ impl BaselineSwarm {
         }
         if self.states[u.index()].serving.contains_key(&d) {
             return true; // already streaming
+        }
+        // Fault injection: the unchoke/request handshake is a control
+        // message. A dropped one means the block does not start this
+        // round; the next rechoke (or FairTorrent kick) is the natural
+        // retry. Latency models do not delay data-plane starts — only
+        // drops and partitions apply. No-op on the fault-free path.
+        if self.base.faults.active() {
+            let now = self.base.clock.now();
+            if matches!(self.base.faults.route(u, d, now), Route::Dropped) {
+                return false;
+            }
         }
         // Current assignment, or pick a new piece by LRF.
         let piece = match self.states[d.index()].pulling.get(&u).copied() {

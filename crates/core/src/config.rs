@@ -55,6 +55,19 @@ pub struct TChainConfig {
     pub whitewash_patience: f64,
     /// Requestor piece-selection policy.
     pub piece_selection: PieceSelection,
+    /// Seconds before the first retransmission of an unacknowledged
+    /// report/key under fault injection; subsequent attempts back off by
+    /// [`TChainConfig::retry_backoff`].
+    pub retry_base: f64,
+    /// Multiplicative backoff factor between retransmissions (≥ 1).
+    pub retry_backoff: f64,
+    /// Retransmission attempts before the sender gives up and leaves the
+    /// transaction to the watchdog.
+    pub max_retries: u32,
+    /// Seconds between watchdog sweeps that close transactions stuck on
+    /// crashed participants and trigger §II-B4 escrow repair. The
+    /// watchdog only runs once a fault (crash or active plan) exists.
+    pub watchdog_period: f64,
 }
 
 impl Default for TChainConfig {
@@ -70,6 +83,10 @@ impl Default for TChainConfig {
             sample_period: 5.0,
             whitewash_patience: 45.0,
             piece_selection: PieceSelection::Rarest,
+            retry_base: 2.0,
+            retry_backoff: 2.0,
+            max_retries: 6,
+            watchdog_period: 5.0,
         }
     }
 }
@@ -94,6 +111,9 @@ impl TChainConfig {
         if let PieceSelection::Streaming { window } = self.piece_selection {
             assert!(window >= 1, "streaming window of at least one piece");
         }
+        assert!(self.retry_base > 0.0, "retry base must be positive");
+        assert!(self.retry_backoff >= 1.0, "retry backoff must not shrink");
+        assert!(self.watchdog_period > 0.0, "watchdog period must be positive");
     }
 }
 

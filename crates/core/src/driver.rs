@@ -40,9 +40,30 @@ use crate::txn::{Chain, ChainEnd, ChainId, ChainOrigin, ChainStats, Transaction,
 use std::collections::{HashMap, HashSet, VecDeque};
 use tchain_attacks::{ColluderRegistry, PeerPlan, Strategy};
 use tchain_crypto::Keyring;
-use tchain_metrics::TimeSeries;
-use tchain_proto::{PieceId, Role, SwarmBase, SwarmConfig};
-use tchain_sim::{Flow, NodeId, Periodic};
+use tchain_metrics::{RecoveryCounters, TimeSeries};
+use tchain_proto::{ControlMsg, Envelope, PieceId, Role, SendOutcome, SwarmBase, SwarmConfig};
+use tchain_sim::{DelayQueue, FaultPlan, Flow, NodeId, Periodic};
+
+/// Which control message a pending retransmission would re-send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetryKind {
+    /// The reception report payee → donor (§II-B2 step 3).
+    Report {
+        /// The report is a collusion lie (§IV-D).
+        falsified: bool,
+    },
+    /// The decryption key donor → requestor (§II-B2 step 4).
+    Key,
+}
+
+/// One armed retransmission timer. Stale entries (the transaction moved
+/// on or died) are no-ops when they fire.
+#[derive(Debug, Clone, Copy)]
+struct RetryEntry {
+    txn: TxnId,
+    kind: RetryKind,
+    attempt: u32,
+}
 
 /// Per-peer protocol state, parallel to the [`tchain_proto::PeerTable`].
 #[derive(Debug)]
@@ -134,6 +155,16 @@ pub struct TChainSwarm {
     direct_txns: u64,
     indirect_txns: u64,
     false_reports: u64,
+    recovery: RecoveryCounters,
+    retries: DelayQueue<RetryEntry>,
+    /// Parents whose payee crashed mid-reciprocation, queued for §II-B4
+    /// reassignment at the next watchdog sweep.
+    repair_queue: Vec<TxnId>,
+    watchdog: Periodic,
+    /// The watchdog only runs when a fault can actually occur (active
+    /// plan or a scheduled crash), keeping fault-free runs bit-identical.
+    watchdog_enabled: bool,
+    planned_crashes: Vec<(f64, NodeId)>,
 }
 
 impl TChainSwarm {
@@ -143,10 +174,25 @@ impl TChainSwarm {
     ///
     /// Panics if the configuration is invalid (see
     /// [`TChainConfig::validate`]).
-    pub fn new(scfg: SwarmConfig, cfg: TChainConfig, mut plan: Vec<PeerPlan>, seed: u64) -> Self {
+    pub fn new(scfg: SwarmConfig, cfg: TChainConfig, plan: Vec<PeerPlan>, seed: u64) -> Self {
+        Self::with_faults(scfg, cfg, plan, seed, FaultPlan::none())
+    }
+
+    /// Builds a swarm with a fault-injection plan. [`FaultPlan::none()`]
+    /// reproduces [`TChainSwarm::new`] bit for bit: the fault layer draws
+    /// no randomness and the recovery machinery stays dormant.
+    pub fn with_faults(
+        scfg: SwarmConfig,
+        cfg: TChainConfig,
+        mut plan: Vec<PeerPlan>,
+        seed: u64,
+        fplan: FaultPlan,
+    ) -> Self {
         cfg.validate();
-        plan.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite join times"));
-        let mut base = SwarmBase::new(scfg, seed);
+        plan.sort_by(|a, b| a.at.total_cmp(&b.at));
+        let any_crash = plan.iter().any(|p| p.crash_at.is_some());
+        let mut base = SwarmBase::with_faults(scfg, seed, fplan);
+        let watchdog_enabled = base.faults.active() || any_crash;
         let seeder = base.admit_seeder();
         let mut sw = TChainSwarm {
             base,
@@ -173,6 +219,12 @@ impl TChainSwarm {
             direct_txns: 0,
             indirect_txns: 0,
             false_reports: 0,
+            recovery: RecoveryCounters::default(),
+            retries: DelayQueue::new(),
+            repair_queue: Vec::new(),
+            watchdog: Periodic::new(cfg.watchdog_period),
+            watchdog_enabled,
+            planned_crashes: Vec::new(),
         };
         sw.ensure_state(seeder);
         sw
@@ -230,6 +282,28 @@ impl TChainSwarm {
     /// False reception reports accepted (collusion successes, §IV-D).
     pub fn false_reports(&self) -> u64 {
         self.false_reports
+    }
+
+    /// Recovery/fault counters: driver-side retry and repair tallies
+    /// merged with the fault layer's delivery statistics.
+    pub fn recovery_counters(&self) -> RecoveryCounters {
+        let mut c = self.recovery;
+        let fs = self.base.faults.stats();
+        c.ctrl_sent = fs.sent;
+        c.ctrl_dropped = fs.dropped + fs.partition_dropped;
+        c.ctrl_delayed = fs.delayed;
+        c.tracker_dropped = fs.tracker_dropped;
+        c
+    }
+
+    /// Transactions currently live (for leak checks).
+    pub fn live_transactions(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Chains currently live (for leak checks).
+    pub fn live_chains(&self) -> usize {
+        self.chains.len()
     }
 
     /// Telemetry recorder; call [`Telemetry::watch`] before running to
@@ -334,6 +408,7 @@ impl TChainSwarm {
     /// Advances the simulation by one step.
     pub fn step(&mut self) {
         let now = self.base.clock.tick();
+        self.process_crashes(now);
         self.process_arrivals(now);
         if self.rechoke_timer.fire(now) {
             self.free_rider_round(now);
@@ -350,7 +425,19 @@ impl TChainSwarm {
             self.on_upload_complete(f, now);
         }
         self.completed_buf = completed;
+        // Delayed control messages whose delivery time has come (empty on
+        // the fault-free path: everything was delivered synchronously).
+        while let Some(env) = self.base.poll_control() {
+            self.handle_ctrl(env, now);
+        }
+        // Retransmission timers (armed only under active faults).
+        while let Some(e) = self.retries.pop_due(now) {
+            self.fire_retry(e, now);
+        }
         self.stall_sweep(now);
+        if self.watchdog_enabled && self.watchdog.fire(now) {
+            self.watchdog_sweep(now);
+        }
         if self.sample_timer.fire(now) {
             self.chain_series.push(now, self.stats.active as f64);
             let leechers = self
@@ -370,6 +457,40 @@ impl TChainSwarm {
     fn ensure_state(&mut self, id: NodeId) {
         if id.index() >= self.states.len() {
             self.states.resize_with(id.index() + 1, PeerState::default);
+        }
+    }
+
+    /// Fires due crash events: per-peer schedules from [`PeerPlan::crash_at`]
+    /// and fraction-of-swarm events from the [`FaultPlan`]. No-op (and
+    /// branch-only) when neither exists.
+    fn process_crashes(&mut self, now: f64) {
+        if !self.planned_crashes.is_empty() {
+            let mut i = 0;
+            while i < self.planned_crashes.len() {
+                if self.planned_crashes[i].0 <= now {
+                    let (_, id) = self.planned_crashes.swap_remove(i);
+                    if self.base.peers.alive(id) {
+                        self.crash_peer(id, now);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if self.base.faults.crash_due(now) {
+            let alive: Vec<NodeId> = self
+                .base
+                .peers
+                .iter_alive()
+                .filter(|p| p.role == Role::Leecher)
+                .map(|p| p.id)
+                .collect();
+            let victims = self.base.faults.crash_victims(now, &alive);
+            for v in victims {
+                if self.base.peers.alive(v) {
+                    self.crash_peer(v, now);
+                }
+            }
         }
     }
 
@@ -432,6 +553,10 @@ impl TChainSwarm {
             if let Some(g) = fr.collude {
                 self.colluders.register(id, g);
             }
+        }
+        if let Some(at) = plan.crash_at {
+            self.planned_crashes.push((at.max(now), id));
+            self.watchdog_enabled = true;
         }
         id
     }
@@ -502,6 +627,51 @@ impl TChainSwarm {
         for t in obls {
             self.txn_terminal(t, TxnState::Aborted, ChainEnd::Departure);
         }
+    }
+
+    /// Abrupt crash: unlike [`TChainSwarm::remove_peer`] there is no
+    /// goodbye. In-flight uploads abort (the transport notices a dead TCP
+    /// endpoint), but protocol-level obligations of the crashed peer stay
+    /// live — the watchdog discovers them by timeout, and §II-B4 repair of
+    /// interrupted reciprocations is deferred to the next sweep.
+    fn crash_peer(&mut self, id: NodeId, _now: f64) {
+        self.recovery.crashes += 1;
+        let (out, inb) = self.base.depart(id);
+        self.colluders.unregister(id);
+        // Outbound flows: the crasher was uploading; the transport-level
+        // abort is observable, so those transactions close immediately.
+        for f in out {
+            let t = Handle::unpack(f.tag);
+            let Some(txn) = self.txns.get(t) else { continue };
+            let (req, piece, donor, enc) = (txn.requestor, txn.piece, txn.donor, txn.encrypted());
+            if self.base.peers.alive(req) {
+                self.states[req.index()].expecting.remove(&piece);
+            }
+            if enc {
+                self.pending_dec(donor, req);
+            }
+            // The parent this upload was reciprocating is NOT closed here:
+            // its donor cannot see the crash and learns of it only when
+            // the watchdog times the transaction out.
+            self.txn_terminal(t, TxnState::Aborted, ChainEnd::Crash);
+        }
+        // Inbound flows: pieces were being uploaded *to* the crasher; the
+        // uploader sees the reset and the original donor repairs per
+        // §II-B4 at the next watchdog sweep.
+        for f in inb {
+            let t = Handle::unpack(f.tag);
+            let Some(txn) = self.txns.get(t) else { continue };
+            let (donor, req, parent, enc) = (txn.donor, txn.requestor, txn.parent, txn.encrypted());
+            if enc {
+                self.pending_dec(donor, req);
+            }
+            self.txn_terminal(t, TxnState::Aborted, ChainEnd::Crash);
+            if let Some(p) = parent {
+                self.repair_queue.push(p);
+            }
+        }
+        // Obligations (encrypted pieces the crasher owed reciprocation
+        // for) are deliberately left live: nobody was notified.
     }
 
     // ------------------------------------------------------------------
@@ -741,6 +911,7 @@ impl TChainSwarm {
             key_escrowed: false,
             forward_encrypted: forward,
             child_active: false,
+            collusion: false,
         });
         self.base.flows.start(donor, requestor, self.base.cfg.file.piece_size, 1.0, t.pack());
         self.states[requestor.index()].expecting.insert(piece);
@@ -768,11 +939,17 @@ impl TChainSwarm {
             self.states[txn.requestor.index()].obligations.retain(|&o| o != t);
         }
         if let Some(c) = self.chains.get_mut(txn.chain) {
-            c.live_txns -= 1;
+            c.live_txns = c.live_txns.saturating_sub(1);
             if c.live_txns == 0 {
-                let chain = self.chains.remove(txn.chain).expect("live chain");
-                self.stats.record_end(cause, chain.txns);
+                match self.chains.remove(txn.chain) {
+                    Some(chain) => self.stats.record_end(cause, chain.txns),
+                    // A stale chain handle (repaired/duplicated bookkeeping
+                    // under fault injection): count it rather than panic.
+                    None => self.recovery.orphaned_txns += 1,
+                }
             }
+        } else {
+            self.recovery.orphaned_txns += 1;
         }
     }
 
@@ -884,7 +1061,7 @@ impl TChainSwarm {
         // This upload reciprocates `parent`: the payee (this upload's
         // requestor) reports to the parent's donor, who releases the key.
         if let Some(p) = parent {
-            self.reciprocation_received(p, now);
+            self.send_report(p, false, 0, now);
         }
         if !self.base.peers.alive(requestor) {
             // The recipient departed in the same step (e.g. its file
@@ -904,7 +1081,13 @@ impl TChainSwarm {
             return;
         }
         {
-            let txn = self.txns.get_mut(t).expect("txn live");
+            // The report for `parent` above may have cascaded (a finished
+            // peer departing can abort transactions); recover instead of
+            // panicking if `t` was swept away.
+            let Some(txn) = self.txns.get_mut(t) else {
+                self.recovery.orphaned_txns += 1;
+                return;
+            };
             txn.state = TxnState::AwaitingReciprocation;
             txn.awaiting_since = now;
         }
@@ -919,25 +1102,136 @@ impl TChainSwarm {
                 // conspirator (§III-A4).
                 if let Some(p) = payee {
                     if self.base.peers.alive(p) && self.colluders.same_group(requestor, p) {
-                        self.false_report(t, now);
+                        self.send_report(t, true, 0, now);
                     }
                 }
             }
         }
     }
 
-    /// The parent's payee confirmed reciprocation: the donor releases the
-    /// key and the requestor completes the piece.
-    fn reciprocation_received(&mut self, parent: TxnId, now: f64) {
+    // ------------------------------------------------------------------
+    // The control plane: reports and keys (§II-B2 steps 3–4)
+    //
+    // Without faults every send routes `Route::Now` and the whole
+    // report → key → decrypt sequence runs synchronously, in exactly the
+    // order the pre-fault driver executed it. Under an active plan a send
+    // may be delayed (queued on the substrate) or dropped, and the sender
+    // arms an exponential-backoff retransmission timer.
+    // ------------------------------------------------------------------
+
+    /// The parent's payee sends the reception report to the parent's
+    /// donor (truthfully after a real reciprocation, or `falsified` by a
+    /// colluder, §IV-D). When the donor already departed the key sits in
+    /// escrow with the payee (§II-B4) and no network hop is needed for
+    /// the report — the payee *is* the reporter.
+    fn send_report(&mut self, parent: TxnId, falsified: bool, attempt: u32, now: f64) {
         let Some(p) = self.txns.get(parent) else { return };
         if p.state != TxnState::AwaitingReciprocation {
             return;
         }
-        let (donor, requestor, piece) = (p.donor, p.requestor, p.piece);
+        let (donor, payee, escrowed) = (p.donor, p.payee, p.key_escrowed);
+        let reporter = payee.unwrap_or(donor);
+        if !self.base.peers.alive(donor) || escrowed {
+            if !escrowed {
+                self.recovery.keys_escrowed += 1;
+                if let Some(t) = self.txns.get_mut(parent) {
+                    t.key_escrowed = true;
+                }
+            }
+            self.handle_report(parent, falsified, now);
+            return;
+        }
+        let env = Envelope {
+            from: reporter,
+            to: donor,
+            msg: ControlMsg::Report { txn: parent.pack(), falsified },
+            sent_at: now,
+        };
+        match self.base.send_control(env) {
+            SendOutcome::Delivered(env) => self.handle_ctrl(env, now),
+            SendOutcome::Scheduled(_) | SendOutcome::Dropped => {
+                // Colluders do not retransmit their lies; compliant payees
+                // retry with backoff until the cap.
+                if !falsified {
+                    self.arm_retry(parent, RetryKind::Report { falsified }, attempt, now);
+                }
+            }
+        }
+    }
+
+    /// Dispatches a delivered control message.
+    fn handle_ctrl(&mut self, env: Envelope, now: f64) {
+        match env.msg {
+            ControlMsg::Report { txn, falsified } => {
+                self.handle_report(Handle::unpack(txn), falsified, now);
+            }
+            ControlMsg::Key { txn } => self.deliver_key(Handle::unpack(txn), now),
+        }
+    }
+
+    /// The donor (or escrow-holding payee) accepted a reception report
+    /// and releases the key toward the requestor. Duplicate reports for a
+    /// transaction already in [`TxnState::KeyInFlight`] re-send the key —
+    /// the natural recovery when the first key message was lost.
+    fn handle_report(&mut self, parent: TxnId, falsified: bool, now: f64) {
+        let Some(p) = self.txns.get_mut(parent) else { return };
+        match p.state {
+            TxnState::AwaitingReciprocation => {
+                p.state = TxnState::KeyInFlight;
+                p.awaiting_since = now;
+                p.collusion = falsified;
+                if falsified {
+                    self.false_reports += 1;
+                }
+                self.send_key(parent, 0, now);
+            }
+            TxnState::KeyInFlight => self.send_key(parent, 0, now),
+            _ => {}
+        }
+    }
+
+    /// Sends the decryption key to the requestor: from the donor, or from
+    /// the escrow-holding payee when the donor is gone (§II-B4).
+    fn send_key(&mut self, parent: TxnId, attempt: u32, now: f64) {
+        let Some(p) = self.txns.get(parent) else { return };
+        let (donor, requestor, payee, escrowed) = (p.donor, p.requestor, p.payee, p.key_escrowed);
+        let from = if escrowed || !self.base.peers.alive(donor) {
+            if !escrowed {
+                self.recovery.keys_escrowed += 1;
+                if let Some(t) = self.txns.get_mut(parent) {
+                    t.key_escrowed = true;
+                }
+            }
+            payee.unwrap_or(donor)
+        } else {
+            donor
+        };
+        let env = Envelope {
+            from,
+            to: requestor,
+            msg: ControlMsg::Key { txn: parent.pack() },
+            sent_at: now,
+        };
+        match self.base.send_control(env) {
+            SendOutcome::Delivered(env) => self.handle_ctrl(env, now),
+            SendOutcome::Scheduled(_) | SendOutcome::Dropped => {
+                self.arm_retry(parent, RetryKind::Key, attempt, now);
+            }
+        }
+    }
+
+    /// The key arrived: the transaction completes and the requestor
+    /// decrypts. Stale deliveries (duplicate keys, or the transaction was
+    /// closed by the watchdog meanwhile) are no-ops.
+    fn deliver_key(&mut self, parent: TxnId, now: f64) {
+        let Some(p) = self.txns.get(parent) else { return };
+        if !matches!(p.state, TxnState::KeyInFlight | TxnState::AwaitingReciprocation) {
+            return;
+        }
+        let (donor, requestor, piece, collusion) = (p.donor, p.requestor, p.piece, p.collusion);
+        let cause = if collusion { ChainEnd::Collusion } else { ChainEnd::NoPayee };
         self.pending_dec(donor, requestor);
-        // Key release is instantaneous (§III-C2). If the donor departed,
-        // the key was escrowed with the payee (§II-B4) — same effect.
-        self.txn_terminal(parent, TxnState::Completed, ChainEnd::NoPayee);
+        self.txn_terminal(parent, TxnState::Completed, cause);
         if self.base.peers.alive(requestor) {
             self.telemetry.on_decrypted(requestor, now);
             self.states[requestor.index()].expecting.remove(&piece);
@@ -945,17 +1239,89 @@ impl TChainSwarm {
         }
     }
 
-    /// Collusion (§IV-D): the payee lies, the donor releases the key for
-    /// free, and the chain has no continuation.
-    fn false_report(&mut self, t: TxnId, now: f64) {
-        let Some(txn) = self.txns.get(t) else { return };
-        let (donor, requestor, piece) = (txn.donor, txn.requestor, txn.piece);
-        self.false_reports += 1;
-        self.pending_dec(donor, requestor);
-        self.txn_terminal(t, TxnState::Completed, ChainEnd::Collusion);
-        self.telemetry.on_decrypted(requestor, now);
-        self.states[requestor.index()].expecting.remove(&piece);
-        self.complete_piece_for(requestor, piece, now);
+    /// Arms a retransmission timer with exponential backoff. Dormant
+    /// without an active fault plan — on the fault-free path every send
+    /// is delivered synchronously and no timer is ever armed.
+    fn arm_retry(&mut self, t: TxnId, kind: RetryKind, attempt: u32, now: f64) {
+        if !self.base.faults.active() {
+            return;
+        }
+        if attempt >= self.cfg.max_retries {
+            self.recovery.retry_exhausted += 1;
+            return;
+        }
+        let delay = self.cfg.retry_base * self.cfg.retry_backoff.powi(attempt as i32);
+        self.retries.push(now + delay, RetryEntry { txn: t, kind, attempt });
+    }
+
+    /// A retransmission timer fired: re-send if the transaction is still
+    /// waiting on that message; otherwise the entry is stale and ignored.
+    fn fire_retry(&mut self, e: RetryEntry, now: f64) {
+        let Some(p) = self.txns.get(e.txn) else { return };
+        match e.kind {
+            RetryKind::Report { falsified } => {
+                if p.state == TxnState::AwaitingReciprocation {
+                    self.recovery.retransmissions += 1;
+                    self.send_report(e.txn, falsified, e.attempt + 1, now);
+                }
+            }
+            RetryKind::Key => {
+                if p.state == TxnState::KeyInFlight {
+                    self.recovery.retransmissions += 1;
+                    self.send_key(e.txn, e.attempt + 1, now);
+                }
+            }
+        }
+    }
+
+    /// Watchdog sweep (runs every [`TChainConfig::watchdog_period`] when
+    /// faults are possible): repairs reciprocations interrupted by a
+    /// payee crash (§II-B4 reassignment), escrows keys whose donor died
+    /// with the key in flight, closes transactions stuck on a crashed
+    /// requestor, and re-kicks key deliveries that exhausted their
+    /// retries.
+    fn watchdog_sweep(&mut self, now: f64) {
+        // Deferred §II-B4 repair: the original donor designates a new
+        // payee for reciprocations cut short by a payee crash.
+        let repairs = std::mem::take(&mut self.repair_queue);
+        for t in repairs {
+            let Some(txn) = self.txns.get(t) else { continue };
+            if txn.state == TxnState::AwaitingReciprocation && !txn.child_active {
+                self.recovery.payees_reassigned += 1;
+                self.attempt_reciprocation(t, now);
+            }
+        }
+        let live: Vec<TxnId> = self.txns.iter().map(|(h, _)| h).collect();
+        for t in live {
+            let Some(txn) = self.txns.get(t) else { continue };
+            if !matches!(txn.state, TxnState::AwaitingReciprocation | TxnState::KeyInFlight) {
+                continue;
+            }
+            let (donor, requestor, state) = (txn.donor, txn.requestor, txn.state);
+            if !self.base.peers.alive(requestor) {
+                // The obligated requestor crashed: nothing can complete
+                // this transaction; close it and account the chain.
+                self.recovery.watchdog_closures += 1;
+                self.recovery.broken_chains += 1;
+                self.pending_dec(donor, requestor);
+                self.txn_terminal(t, TxnState::Aborted, ChainEnd::Crash);
+            } else if state == TxnState::KeyInFlight {
+                let stuck = now - txn.awaiting_since > self.cfg.stall_timeout;
+                if !self.base.peers.alive(donor) && !txn.key_escrowed {
+                    // Donor crashed mid key-release: §II-B4 escrow takes
+                    // over (send_key notices the dead donor).
+                    self.send_key(t, 0, now);
+                } else if stuck {
+                    // All retries lost; give the key a fresh budget so the
+                    // transaction terminates with probability one.
+                    if let Some(txn) = self.txns.get_mut(t) {
+                        txn.awaiting_since = now;
+                    }
+                    self.recovery.retransmissions += 1;
+                    self.send_key(t, 0, now);
+                }
+            }
+        }
     }
 
     /// The requestor of `t` (compliant) reciprocates toward the designated
@@ -970,7 +1336,13 @@ impl TChainSwarm {
         if !self.base.peers.alive(r) {
             return;
         }
-        let mut payee = txn.payee.expect("encrypted transactions carry a payee");
+        // Encrypted transactions always carry a payee; if repair ever
+        // leaves one without, release the key rather than panic.
+        let Some(mut payee) = txn.payee else {
+            self.recovery.orphaned_txns += 1;
+            self.release_without_reciprocation(t, now, ChainEnd::NoPayee);
+            return;
+        };
         for _attempt in 0..8 {
             // Is the current payee usable?
             let usable = payee != r
@@ -1165,6 +1537,7 @@ impl TChainSwarm {
                     at: now + 5.0,
                     capacity: self.states[id.index()].planned_capacity,
                     strategy: self.states[id.index()].strategy,
+                    crash_at: None,
                 };
                 let lineage = self.states[id.index()].lineage;
                 self.remove_peer(id, now);
@@ -1259,6 +1632,7 @@ mod tests {
                 at: 0.6 + i as f64 * 0.01,
                 capacity: kbps(800.0),
                 strategy: Strategy::colluding_free_rider(GroupId(0)),
+                crash_at: None,
             });
         }
         let mut sw = TChainSwarm::new(

@@ -25,6 +25,10 @@ pub enum TxnState {
     /// The piece arrived; the requestor owes reciprocation before the key
     /// is released.
     AwaitingReciprocation,
+    /// Reciprocation was reported but the key-release message is still in
+    /// flight (only reachable under fault injection; the instantaneous
+    /// model goes straight to `Completed`).
+    KeyInFlight,
     /// Reciprocation reported (or the upload was unencrypted); the key was
     /// released and the requestor completed the piece.
     Completed,
@@ -68,6 +72,10 @@ pub struct Transaction {
     /// A reciprocation upload for this transaction is currently in flight
     /// (guards against double-reciprocating on sweep retries).
     pub child_active: bool,
+    /// The reception report that closed this transaction was falsified
+    /// (collusion, §IV-D) — recorded when the report is accepted so the
+    /// eventual key release ends the chain with the right cause.
+    pub collusion: bool,
 }
 
 impl Transaction {
@@ -107,6 +115,9 @@ pub enum ChainEnd {
     /// A false reception report short-circuited the exchange (§IV-D);
     /// the chain has no continuation.
     Collusion,
+    /// A participant crashed abruptly (fault injection); the chain could
+    /// not be repaired via the §II-B4 escrow path.
+    Crash,
 }
 
 /// A live chain.
@@ -139,6 +150,8 @@ pub struct ChainStats {
     pub ended_stalled: u64,
     /// Ended by collusion short-circuits.
     pub ended_collusion: u64,
+    /// Ended by abrupt peer crashes (fault injection).
+    pub ended_crash: u64,
     /// Sum of chain lengths (transactions) over ended chains.
     pub total_txns_ended: u64,
     /// Number of ended chains (for mean-length computation).
@@ -181,6 +194,7 @@ impl ChainStats {
             ChainEnd::Departure => self.ended_departure += 1,
             ChainEnd::Stalled => self.ended_stalled += 1,
             ChainEnd::Collusion => self.ended_collusion += 1,
+            ChainEnd::Crash => self.ended_crash += 1,
         }
     }
 }
@@ -214,6 +228,7 @@ mod tests {
             key_escrowed: false,
             forward_encrypted: false,
             child_active: false,
+            collusion: false,
         };
         assert!(t.encrypted());
         assert!(t.direct());

@@ -19,4 +19,5 @@ fn main() {
     f::streaming::run(scale);
     f::overhead::run(scale);
     f::analysis_sec3::run(scale);
+    f::loss_sweep::run(scale);
 }

@@ -61,7 +61,7 @@ fn progress_ratio(proto: Proto, fr: FreeRiderConfig, colluding: bool, seed: u64)
         } else {
             Strategy::FreeRider(fr)
         };
-        plan.push(PeerPlan { at: 0.6 + i as f64 * 0.01, capacity: 100_000.0, strategy });
+        plan.push(PeerPlan { at: 0.6 + i as f64 * 0.01, capacity: 100_000.0, strategy, crash_at: None });
     }
     let spec = proto.file_spec(2.0);
     let horizon = 900.0;

@@ -22,5 +22,6 @@ mod scenario;
 pub use output::{fmt_opt, print_table, results_dir, save};
 pub use scale::Scale;
 pub use scenario::{
-    flash_plan, run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts, RunOutcome,
+    flash_plan, run_proto, run_proto_with_faults, trace_plan, Horizon, Proto, RiderMode, RunOpts,
+    RunOutcome,
 };

@@ -4,7 +4,9 @@
 use tchain_attacks::{GroupId, PeerPlan, Strategy};
 use tchain_baselines::{Baseline, BaselineConfig, BaselineSwarm};
 use tchain_core::{TChainConfig, TChainSwarm};
+use tchain_metrics::RecoveryCounters;
 use tchain_proto::{FileSpec, Role, SwarmConfig};
+use tchain_sim::FaultPlan;
 use tchain_workloads::{flash_crowd, CapacityClasses, TraceModel};
 
 /// The five quantitative protocols of §IV, unified for the experiment
@@ -132,7 +134,7 @@ fn plan_from(
             } else {
                 Strategy::Compliant
             };
-            PeerPlan { at, capacity, strategy }
+            PeerPlan { at, capacity, strategy, crash_at: None }
         })
         .collect()
 }
@@ -159,6 +161,9 @@ pub struct RunOutcome {
     pub mean_goodput: f64,
     /// Wall-clock of the simulated run in seconds.
     pub sim_time: f64,
+    /// Fault-layer delivery statistics and recovery tallies (all zero on
+    /// a fault-free run with no departures triggering escrow).
+    pub recovery: RecoveryCounters,
 }
 
 /// Extra horizon to run past compliant completion so baseline free-riders
@@ -200,6 +205,20 @@ pub fn run_proto(
     horizon: Horizon,
     opts: RunOpts,
 ) -> RunOutcome {
+    run_proto_with_faults(proto, file_mib, plan, seed, horizon, opts, FaultPlan::none())
+}
+
+/// Runs one protocol under a fault-injection plan. With
+/// [`FaultPlan::none()`] this is exactly [`run_proto`].
+pub fn run_proto_with_faults(
+    proto: Proto,
+    file_mib: f64,
+    plan: Vec<PeerPlan>,
+    seed: u64,
+    horizon: Horizon,
+    opts: RunOpts,
+    faults: FaultPlan,
+) -> RunOutcome {
     let spec = match opts.custom_pieces {
         Some(n) => {
             let piece = 64.0 * 1024.0;
@@ -219,7 +238,7 @@ pub fn run_proto(
                 replace_on_finish: opts.replace_on_finish,
                 ..Default::default()
             };
-            let mut sw = TChainSwarm::new(scfg, cfg, plan, seed);
+            let mut sw = TChainSwarm::with_faults(scfg, cfg, plan, seed, faults);
             match horizon {
                 Horizon::CompliantDone => sw.run_until_done(),
                 Horizon::Fixed(t) => sw.run_to(t),
@@ -239,7 +258,9 @@ pub fn run_proto(
                 }
             }
             let fr = sw.free_rider_results();
-            collect(sw.base(), spec.piece_size, fr, |p| p.fairness_factor())
+            let mut out = collect(sw.base(), spec.piece_size, fr, |p| p.fairness_factor());
+            out.recovery = sw.recovery_counters();
+            out
         }
         Proto::Baseline(b) => {
             let cfg = BaselineConfig {
@@ -247,7 +268,7 @@ pub fn run_proto(
                 replace_on_finish: opts.replace_on_finish,
                 ..Default::default()
             };
-            let mut sw = BaselineSwarm::new(scfg, cfg, b, plan, seed);
+            let mut sw = BaselineSwarm::with_faults(scfg, cfg, b, plan, seed, faults);
             match horizon {
                 Horizon::CompliantDone => sw.run_until_done(),
                 Horizon::Fixed(t) => sw.run_to(t),
@@ -267,15 +288,19 @@ pub fn run_proto(
                 }
             }
             let fr = sw.free_rider_results();
-            let flows = &sw.base().flows;
-            collect(sw.base(), spec.piece_size, fr, |p| {
-                let up = flows.uploaded(p.id);
-                if up > 0.0 {
-                    Some(flows.downloaded(p.id) / up)
-                } else {
-                    None
-                }
-            })
+            let mut out = {
+                let flows = &sw.base().flows;
+                collect(sw.base(), spec.piece_size, fr, |p| {
+                    let up = flows.uploaded(p.id);
+                    if up > 0.0 {
+                        Some(flows.downloaded(p.id) / up)
+                    } else {
+                        None
+                    }
+                })
+            };
+            out.recovery = sw.recovery_counters();
+            out
         }
     }
 }
@@ -309,8 +334,8 @@ fn collect(
             }
         }
     }
-    compliant.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-    rider_durations.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    compliant.sort_by(|a, b| a.0.total_cmp(&b.0));
+    rider_durations.sort_by(|a, b| a.total_cmp(b));
     RunOutcome {
         compliant_times: compliant.iter().map(|c| c.1).collect(),
         free_rider_times: rider_durations,
@@ -320,6 +345,7 @@ fn collect(
         fairness: compliant.iter().filter_map(|c| c.2).collect(),
         mean_goodput: if goodput_n == 0 { 0.0 } else { goodput_sum / goodput_n as f64 },
         sim_time: now,
+        recovery: RecoveryCounters::default(),
     }
 }
 

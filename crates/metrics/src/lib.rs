@@ -6,15 +6,19 @@
 //!   intervals over seeded runs (every line plot);
 //! * [`Cdf`] — empirical CDFs (the Fig. 12 fairness-factor curves);
 //! * [`TimeSeries`] — sampled "X over time" traces (Fig. 5 piece
-//!   timelines, Fig. 10/11 chain counts).
+//!   timelines, Fig. 10/11 chain counts);
+//! * [`RecoveryCounters`] — retry/stall/recovery tallies from
+//!   fault-injected runs (lost reports, retransmissions, escrow repairs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cdf;
+mod recovery;
 mod series;
 mod stats;
 
 pub use cdf::Cdf;
+pub use recovery::RecoveryCounters;
 pub use series::TimeSeries;
 pub use stats::{t_critical_95, OnlineStats, Summary};

@@ -7,8 +7,9 @@
 //! [`SwarmBase`] bundles that state; the drivers in `tchain-core` and
 //! `tchain-baselines` layer their protocol logic on top.
 
+use crate::control::{Envelope, SendOutcome};
 use crate::{Bitfield, FileSpec, Mesh, NeighborPolicy, PeerTable, PieceId, Role, Tracker};
-use tchain_sim::{Clock, Flow, FlowScheduler, NodeId, SimRng};
+use tchain_sim::{Clock, DelayQueue, FaultPlan, FaultState, Flow, FlowScheduler, NodeId, Route, SimRng};
 
 /// Static configuration for one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -57,11 +58,23 @@ pub struct SwarmBase {
     pub flows: FlowScheduler,
     /// The run's random source.
     pub rng: SimRng,
+    /// Fault-injection runtime (inert under [`FaultPlan::none`]).
+    pub faults: FaultState,
+    /// Delayed control messages awaiting delivery (empty on the
+    /// fault-free path).
+    pub ctrl: DelayQueue<Envelope>,
 }
 
 impl SwarmBase {
     /// Creates an empty swarm (no seeder yet) for a seeded run.
     pub fn new(cfg: SwarmConfig, seed: u64) -> Self {
+        SwarmBase::with_faults(cfg, seed, FaultPlan::none())
+    }
+
+    /// Creates an empty swarm with a fault-injection plan. The fault RNG
+    /// stream is derived from the plan's own seed, so the same `seed`
+    /// produces the same swarm dynamics whether or not faults are active.
+    pub fn with_faults(cfg: SwarmConfig, seed: u64, plan: FaultPlan) -> Self {
         SwarmBase {
             cfg,
             clock: Clock::new(cfg.dt),
@@ -70,7 +83,29 @@ impl SwarmBase {
             tracker: Tracker::new(),
             flows: FlowScheduler::new(),
             rng: SimRng::new(seed),
+            faults: FaultState::new(plan),
+            ctrl: DelayQueue::new(),
         }
+    }
+
+    /// Routes a control message through the fault layer. Returns
+    /// [`SendOutcome::Delivered`] with the envelope when it should be
+    /// handled synchronously (always the case without faults), otherwise
+    /// parks or drops it.
+    pub fn send_control(&mut self, env: Envelope) -> SendOutcome {
+        match self.faults.route(env.from, env.to, self.clock.now()) {
+            Route::Now => SendOutcome::Delivered(env),
+            Route::At(t) => {
+                self.ctrl.push(t, env);
+                SendOutcome::Scheduled(t)
+            }
+            Route::Dropped => SendOutcome::Dropped,
+        }
+    }
+
+    /// Pops the next delayed control message due at the current time.
+    pub fn poll_control(&mut self) -> Option<Envelope> {
+        self.ctrl.pop_due(self.clock.now())
     }
 
     /// Admits the (single) seeder. Must be called before leechers join.
@@ -122,9 +157,13 @@ impl SwarmBase {
     }
 
     /// Re-queries the tracker when the neighbor count fell below the
-    /// refill threshold (§IV-A).
+    /// refill threshold (§IV-A). Under fault injection the query itself
+    /// can be lost, in which case the peer retries on a later tick.
     pub fn maybe_refill(&mut self, id: NodeId) {
         if self.mesh.degree(id) < self.cfg.policy.refill_below {
+            if self.faults.tracker_query_lost(self.clock.now()) {
+                return;
+            }
             self.acquire_neighbors(id, self.cfg.policy.max_neighbors);
         }
     }
@@ -260,6 +299,41 @@ mod tests {
         assert_eq!(b.mesh.degree(l), 0);
         b.maybe_refill(l);
         assert!(b.mesh.degree(l) >= 30, "degree {}", b.mesh.degree(l));
+    }
+
+    #[test]
+    fn control_is_synchronous_without_faults() {
+        let mut b = base();
+        let env = Envelope {
+            from: NodeId(1),
+            to: NodeId(2),
+            msg: crate::control::ControlMsg::Key { txn: 9 },
+            sent_at: 0.0,
+        };
+        assert_eq!(b.send_control(env), SendOutcome::Delivered(env));
+        assert!(b.poll_control().is_none(), "nothing ever queued");
+        assert!(b.ctrl.is_empty());
+    }
+
+    #[test]
+    fn delayed_control_is_queued_and_drained() {
+        let cfg = SwarmConfig::paper(FileSpec::tchain(1.0));
+        let plan = tchain_sim::FaultPlan { seed: 3, ..tchain_sim::FaultPlan::none() }
+            .with_latency(tchain_sim::LatencyModel::Fixed(2.5));
+        let mut b = SwarmBase::with_faults(cfg, 42, plan);
+        let env = Envelope {
+            from: NodeId(1),
+            to: NodeId(2),
+            msg: crate::control::ControlMsg::Report { txn: 1, falsified: false },
+            sent_at: 0.0,
+        };
+        assert_eq!(b.send_control(env), SendOutcome::Scheduled(2.5));
+        assert!(b.poll_control().is_none(), "not due yet");
+        while b.clock.now() < 2.5 {
+            b.clock.tick();
+        }
+        assert_eq!(b.poll_control(), Some(env));
+        assert!(b.poll_control().is_none());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 mod harness;
 mod mesh;
 mod peer;
@@ -27,6 +28,7 @@ mod piece;
 mod tracker;
 pub mod wire;
 
+pub use control::{ControlMsg, Envelope, SendOutcome};
 pub use harness::{SwarmBase, SwarmConfig};
 pub use mesh::Mesh;
 pub use peer::{Peer, PeerTable, Role};

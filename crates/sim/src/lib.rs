@@ -16,7 +16,10 @@
 //!
 //! Control messages (reception reports, decryption keys, tracker queries)
 //! are "several orders of magnitude" smaller than file pieces (paper §III-C)
-//! and are modelled as instantaneous by the drivers built on top.
+//! and are modelled as instantaneous by default. A [`FaultPlan`] changes
+//! that: it can drop or delay control messages, crash peers mid-transaction
+//! and partition the swarm, all deterministically from its own seed (see
+//! [`fault`] and [`DelayQueue`]).
 //!
 //! ```
 //! use tchain_sim::{FlowScheduler, NodeId, kbps};
@@ -36,12 +39,16 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod fault;
 mod flow;
+mod queue;
 mod rng;
 mod units;
 
 pub use clock::{Clock, Periodic};
+pub use fault::{CrashSpec, FaultPlan, FaultState, FaultStats, LatencyModel, Partition, Route};
 pub use flow::{Flow, FlowId, FlowScheduler};
+pub use queue::DelayQueue;
 pub use rng::SimRng;
 pub use units::{kbps, kib, mib, BYTES_PER_KIB, BYTES_PER_MIB};
 

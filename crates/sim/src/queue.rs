@@ -1,0 +1,138 @@
+//! Deterministic delayed-delivery queue for scheduled events.
+//!
+//! Control messages under fault injection are no longer synchronous calls:
+//! they are enqueued with a delivery time and drained by the driver's step
+//! loop. Ordering is total — (delivery time by `f64::total_cmp`, then
+//! insertion sequence) — so two runs with the same seed drain identically.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<M> {
+    at: f64,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq && self.at.total_cmp(&other.at) == Ordering::Equal
+    }
+}
+
+impl<M> Eq for Entry<M> {}
+
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .total_cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of messages ordered by delivery time (ties broken by
+/// insertion order), drained against the simulation clock.
+pub struct DelayQueue<M> {
+    heap: BinaryHeap<Entry<M>>,
+    seq: u64,
+}
+
+impl<M> Default for DelayQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> std::fmt::Debug for DelayQueue<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DelayQueue")
+            .field("pending", &self.heap.len())
+            .field("next_at", &self.next_at())
+            .finish()
+    }
+}
+
+impl<M> DelayQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        DelayQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `msg` for delivery at time `at`.
+    pub fn push(&mut self, at: f64, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, msg });
+    }
+
+    /// Pops the earliest message whose delivery time is ≤ `now`.
+    pub fn pop_due(&mut self, now: f64) -> Option<M> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            self.heap.pop().map(|e| e.msg)
+        } else {
+            None
+        }
+    }
+
+    /// Delivery time of the earliest pending message.
+    pub fn next_at(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_time_then_insertion_order() {
+        let mut q = DelayQueue::new();
+        q.push(2.0, "b");
+        q.push(1.0, "a");
+        q.push(2.0, "c");
+        q.push(0.5, "z");
+        assert_eq!(q.len(), 4);
+        let mut got = Vec::new();
+        while let Some(m) = q.pop_due(2.0) {
+            got.push(m);
+        }
+        assert_eq!(got, ["z", "a", "b", "c"], "ties break by insertion order");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn respects_now() {
+        let mut q = DelayQueue::new();
+        q.push(5.0, 1u32);
+        assert_eq!(q.pop_due(4.9), None);
+        assert_eq!(q.next_at(), Some(5.0));
+        assert_eq!(q.pop_due(5.0), Some(1));
+        assert_eq!(q.pop_due(5.0), None);
+    }
+
+    #[test]
+    fn empty_queue_is_cheap() {
+        let mut q: DelayQueue<u64> = DelayQueue::default();
+        for t in 0..1000 {
+            assert!(q.pop_due(t as f64).is_none());
+        }
+    }
+}
