@@ -61,13 +61,18 @@ pub fn ps_monte_carlo(n: usize, m: usize, b: usize, trials: usize, seed: u64) ->
     for _ in 0..trials {
         pool.shuffle(&mut rng);
         // First b entries are the neighbor list; peers 0..m collude.
-        let requestor = pool[..b].choose(&mut rng).copied().expect("b >= 2");
+        // `validate` guarantees b >= 2, so both draws are from a
+        // non-empty slice and the rejection loop terminates.
+        let Some(&requestor) = pool[..b].choose(&mut rng) else { continue };
         let payee = loop {
-            let p = pool[..b].choose(&mut rng).copied().expect("b >= 2");
+            let Some(&p) = pool[..b].choose(&mut rng) else { break requestor };
             if p != requestor {
                 break p;
             }
         };
+        if payee == requestor {
+            continue;
+        }
         if requestor < m && payee < m {
             hits += 1;
         }

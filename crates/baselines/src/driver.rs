@@ -13,6 +13,10 @@ use crate::config::{Baseline, BaselineConfig};
 use std::collections::{HashMap, HashSet};
 use tchain_attacks::{PeerPlan, Strategy};
 use tchain_metrics::{RecoveryCounters, TimeSeries};
+use tchain_obs::{
+    trace_event, Event, ExportStats, MetricMap, Phase, PhaseProfile, PhaseProfiler, StatsRegistry,
+    Tracer,
+};
 use tchain_proto::{PieceId, Role, SwarmBase, SwarmConfig};
 use tchain_sim::{FaultPlan, Flow, FlowId, NodeId, Periodic, Route};
 
@@ -93,6 +97,10 @@ pub struct BaselineSwarm {
     blocks_moved: u64,
     planned_crashes: Vec<(f64, NodeId)>,
     crashes: u64,
+    /// Per-phase wall-clock profiler for [`BaselineSwarm::step`];
+    /// disabled (branch-only) unless
+    /// [`BaselineSwarm::enable_profiling`] is called.
+    profiler: PhaseProfiler,
 }
 
 impl BaselineSwarm {
@@ -146,6 +154,7 @@ impl BaselineSwarm {
             blocks_moved: 0,
             planned_crashes: Vec::new(),
             crashes: 0,
+            profiler: PhaseProfiler::disabled(),
         };
         sw.ensure_state(seeder);
         sw
@@ -194,6 +203,45 @@ impl BaselineSwarm {
     /// `(time, alive leechers)` census samples.
     pub fn leecher_series(&self) -> &TimeSeries {
         &self.leecher_series
+    }
+
+    /// Turns on structured event tracing with a ring buffer of `capacity`
+    /// records. Tracing only observes the run; traced and untraced runs
+    /// with the same seed stay bit-identical.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.base.enable_tracing(capacity);
+    }
+
+    /// Turns on per-phase wall-clock profiling of
+    /// [`BaselineSwarm::step`].
+    pub fn enable_profiling(&mut self) {
+        self.profiler = PhaseProfiler::enabled();
+    }
+
+    /// The event tracer (disabled unless
+    /// [`BaselineSwarm::enable_tracing`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.base.trace
+    }
+
+    /// Per-phase timing summary accumulated so far (empty when profiling
+    /// is off).
+    pub fn profile(&self) -> PhaseProfile {
+        self.profiler.profile()
+    }
+
+    /// Every counter the run can report, as one flat named-metric map.
+    pub fn metrics(&self) -> MetricMap {
+        let mut reg = StatsRegistry::new();
+        self.recovery_counters().export_stats("recovery.", &mut reg);
+        self.base.flows.stats().export_stats("flows.", &mut reg);
+        reg.set("blocks.moved", self.blocks_moved);
+        if self.base.trace.is_enabled() {
+            reg.set("trace.emitted", self.base.trace.emitted());
+            reg.set("trace.peak_depth", self.base.trace.peak_depth() as u64);
+            reg.set("trace.overwritten", self.base.trace.overwritten());
+        }
+        reg.snapshot()
     }
 
     /// Download completion times of finished leechers by compliance.
@@ -293,8 +341,11 @@ impl BaselineSwarm {
     /// Advances the simulation by one step.
     pub fn step(&mut self) {
         let now = self.base.clock.tick();
+        let p = self.profiler.begin();
         self.process_crashes(now);
         self.process_arrivals(now);
+        self.profiler.end(Phase::Membership, p);
+        let p = self.profiler.begin();
         if self.rechoke_timer.fire(now) {
             self.rechoke_round(now);
         }
@@ -304,17 +355,24 @@ impl BaselineSwarm {
         if self.policy == Baseline::FairTorrent {
             self.fairtorrent_kick();
         }
+        self.profiler.end(Phase::Rechoke, p);
         let mut completed = std::mem::take(&mut self.completed_buf);
         completed.clear();
+        let p = self.profiler.begin();
         self.base.flows.advance(self.base.cfg.dt, &mut completed);
+        self.profiler.end(Phase::FlowAdvance, p);
+        let p = self.profiler.begin();
         for f in completed.drain(..) {
             self.on_block_complete(f, now);
         }
+        self.profiler.end(Phase::Completions, p);
         self.completed_buf = completed;
         if self.sample_timer.fire(now) {
+            let p = self.profiler.begin();
             let leechers =
                 self.base.peers.iter_alive().filter(|p| p.role == Role::Leecher).count();
             self.leecher_series.push(now, leechers as f64);
+            self.profiler.end(Phase::Sampling, p);
         }
     }
 
@@ -339,7 +397,7 @@ impl BaselineSwarm {
                 if self.planned_crashes[i].0 <= now {
                     let (_, id) = self.planned_crashes.swap_remove(i);
                     if self.base.peers.alive(id) {
-                        self.crash_peer(id);
+                        self.crash_peer(id, now);
                     }
                 } else {
                     i += 1;
@@ -357,14 +415,15 @@ impl BaselineSwarm {
             let victims = self.base.faults.crash_victims(now, &alive);
             for v in victims {
                 if self.base.peers.alive(v) {
-                    self.crash_peer(v);
+                    self.crash_peer(v, now);
                 }
             }
         }
     }
 
-    fn crash_peer(&mut self, id: NodeId) {
+    fn crash_peer(&mut self, id: NodeId, now: f64) {
         self.crashes += 1;
+        trace_event!(self.base.trace, now, Event::PeerCrash { peer: id.0 });
         self.remove_peer(id);
     }
 
@@ -615,9 +674,18 @@ impl BaselineSwarm {
     /// block flows) and starts blocks toward new ones.
     fn apply_unchoke_set(&mut self, id: NodeId, new_set: Vec<NodeId>) {
         let old: Vec<NodeId> = self.states[id.index()].unchoked.clone();
-        for d in old {
+        for &d in &old {
             if !new_set.contains(&d) && !self.states[id.index()].optimistic.contains(&d) {
                 self.choke(id, d);
+            }
+        }
+        for &d in &new_set {
+            if !old.contains(&d) {
+                trace_event!(
+                    self.base.trace,
+                    self.base.clock.now(),
+                    Event::Unchoke { peer: id.0, target: d.0, optimistic: false }
+                );
             }
         }
         self.states[id.index()].unchoked = new_set.clone();
@@ -657,6 +725,11 @@ impl BaselineSwarm {
             let picks = self.base.rng.sample(&candidates, self.cfg.optimistic_slots);
             self.states[id.index()].optimistic = picks.clone();
             for d in picks {
+                trace_event!(
+                    self.base.trace,
+                    self.base.clock.now(),
+                    Event::Unchoke { peer: id.0, target: d.0, optimistic: true }
+                );
                 self.try_start_block(id, d);
             }
         }
@@ -772,6 +845,11 @@ impl BaselineSwarm {
     /// lost; completed blocks of the piece are kept and resumable) and
     /// clears the pull assignment so the piece is assignable elsewhere.
     fn choke(&mut self, u: NodeId, d: NodeId) {
+        trace_event!(
+            self.base.trace,
+            self.base.clock.now(),
+            Event::Choke { peer: u.0, target: d.0 }
+        );
         if let Some(fid) = self.states[u.index()].serving.remove(&d) {
             self.base.flows.cancel(fid);
         }

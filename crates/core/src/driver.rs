@@ -41,8 +41,24 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use tchain_attacks::{ColluderRegistry, PeerPlan, Strategy};
 use tchain_crypto::Keyring;
 use tchain_metrics::{RecoveryCounters, TimeSeries};
+use tchain_obs::{
+    trace_event, EndCause, Event, ExportStats, MetricMap, Phase, PhaseProfile, PhaseProfiler,
+    RetryMsg, StatsRegistry, Tracer,
+};
 use tchain_proto::{ControlMsg, Envelope, PieceId, Role, SendOutcome, SwarmBase, SwarmConfig};
 use tchain_sim::{DelayQueue, FaultPlan, Flow, NodeId, Periodic};
+
+/// Maps the driver's [`ChainEnd`] onto the observability crate's
+/// dependency-free mirror.
+fn obs_cause(c: ChainEnd) -> EndCause {
+    match c {
+        ChainEnd::NoPayee => EndCause::NoPayee,
+        ChainEnd::Departure => EndCause::Departure,
+        ChainEnd::Stalled => EndCause::Stalled,
+        ChainEnd::Collusion => EndCause::Collusion,
+        ChainEnd::Crash => EndCause::Crash,
+    }
+}
 
 /// Which control message a pending retransmission would re-send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +181,9 @@ pub struct TChainSwarm {
     /// plan or a scheduled crash), keeping fault-free runs bit-identical.
     watchdog_enabled: bool,
     planned_crashes: Vec<(f64, NodeId)>,
+    /// Per-phase wall-clock profiler for [`TChainSwarm::step`]; disabled
+    /// (branch-only) unless [`TChainSwarm::enable_profiling`] is called.
+    profiler: PhaseProfiler,
 }
 
 impl TChainSwarm {
@@ -225,6 +244,7 @@ impl TChainSwarm {
             watchdog: Periodic::new(cfg.watchdog_period),
             watchdog_enabled,
             planned_crashes: Vec::new(),
+            profiler: PhaseProfiler::disabled(),
         };
         sw.ensure_state(seeder);
         sw
@@ -294,6 +314,52 @@ impl TChainSwarm {
         c.ctrl_delayed = fs.delayed;
         c.tracker_dropped = fs.tracker_dropped;
         c
+    }
+
+    /// Turns on structured event tracing with a ring buffer of `capacity`
+    /// records. Tracing only *observes* the run — wall-clock time never
+    /// feeds back into protocol decisions, so traced and untraced runs
+    /// with the same seed stay bit-identical.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.base.enable_tracing(capacity);
+    }
+
+    /// Turns on per-phase wall-clock profiling of [`TChainSwarm::step`].
+    pub fn enable_profiling(&mut self) {
+        self.profiler = PhaseProfiler::enabled();
+    }
+
+    /// The event tracer (disabled unless
+    /// [`TChainSwarm::enable_tracing`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.base.trace
+    }
+
+    /// Per-phase timing summary accumulated so far (empty when profiling
+    /// is off).
+    pub fn profile(&self) -> PhaseProfile {
+        self.profiler.profile()
+    }
+
+    /// Every counter the run can report, as one flat named-metric map:
+    /// chain statistics, recovery/fault counters, flow-scheduler and
+    /// fault-layer tallies, transaction totals and tracer gauges.
+    pub fn metrics(&self) -> MetricMap {
+        let mut reg = StatsRegistry::new();
+        self.stats.export_stats("chains.", &mut reg);
+        self.recovery_counters().export_stats("recovery.", &mut reg);
+        self.base.flows.stats().export_stats("flows.", &mut reg);
+        reg.set("txns.completed", self.txns_completed);
+        reg.set("txns.aborted", self.txns_aborted);
+        reg.set("txns.direct", self.direct_txns);
+        reg.set("txns.indirect", self.indirect_txns);
+        reg.set("txns.false_reports", self.false_reports);
+        if self.base.trace.is_enabled() {
+            reg.set("trace.emitted", self.base.trace.emitted());
+            reg.set("trace.peak_depth", self.base.trace.peak_depth() as u64);
+            reg.set("trace.overwritten", self.base.trace.overwritten());
+        }
+        reg.snapshot()
     }
 
     /// Transactions currently live (for leak checks).
@@ -408,37 +474,56 @@ impl TChainSwarm {
     /// Advances the simulation by one step.
     pub fn step(&mut self) {
         let now = self.base.clock.tick();
+        let p = self.profiler.begin();
         self.process_crashes(now);
         self.process_arrivals(now);
+        self.profiler.end(Phase::Membership, p);
         if self.rechoke_timer.fire(now) {
+            let p = self.profiler.begin();
             self.free_rider_round(now);
             self.refill_round();
+            self.profiler.end(Phase::Rechoke, p);
         }
+        let p = self.profiler.begin();
         self.seeder_round(now);
         if self.cfg.opportunistic_seeding {
             self.opportunistic_round(now);
         }
+        self.profiler.end(Phase::ChainRounds, p);
         let mut completed = std::mem::take(&mut self.completed_buf);
         completed.clear();
+        let p = self.profiler.begin();
         self.base.flows.advance(self.base.cfg.dt, &mut completed);
+        self.profiler.end(Phase::FlowAdvance, p);
+        let p = self.profiler.begin();
         for f in completed.drain(..) {
             self.on_upload_complete(f, now);
         }
+        self.profiler.end(Phase::Completions, p);
         self.completed_buf = completed;
         // Delayed control messages whose delivery time has come (empty on
         // the fault-free path: everything was delivered synchronously).
+        let p = self.profiler.begin();
         while let Some(env) = self.base.poll_control() {
             self.handle_ctrl(env, now);
         }
+        self.profiler.end(Phase::ControlDrain, p);
         // Retransmission timers (armed only under active faults).
+        let p = self.profiler.begin();
         while let Some(e) = self.retries.pop_due(now) {
             self.fire_retry(e, now);
         }
+        self.profiler.end(Phase::Retries, p);
+        let p = self.profiler.begin();
         self.stall_sweep(now);
+        self.profiler.end(Phase::StallSweep, p);
         if self.watchdog_enabled && self.watchdog.fire(now) {
+            let p = self.profiler.begin();
             self.watchdog_sweep(now);
+            self.profiler.end(Phase::Watchdog, p);
         }
         if self.sample_timer.fire(now) {
+            let p = self.profiler.begin();
             self.chain_series.push(now, self.stats.active as f64);
             let leechers = self
                 .base
@@ -447,6 +532,7 @@ impl TChainSwarm {
                 .filter(|p| p.role == Role::Leecher)
                 .count();
             self.leecher_series.push(now, leechers as f64);
+            self.profiler.end(Phase::Sampling, p);
         }
     }
 
@@ -634,8 +720,9 @@ impl TChainSwarm {
     /// endpoint), but protocol-level obligations of the crashed peer stay
     /// live — the watchdog discovers them by timeout, and §II-B4 repair of
     /// interrupted reciprocations is deferred to the next sweep.
-    fn crash_peer(&mut self, id: NodeId, _now: f64) {
+    fn crash_peer(&mut self, id: NodeId, now: f64) {
         self.recovery.crashes += 1;
+        trace_event!(self.base.trace, now, Event::PeerCrash { peer: id.0 });
         let (out, inb) = self.base.depart(id);
         self.colluders.unregister(id);
         // Outbound flows: the crasher was uploading; the transport-level
@@ -913,6 +1000,18 @@ impl TChainSwarm {
             child_active: false,
             collusion: false,
         });
+        trace_event!(
+            self.base.trace,
+            now,
+            Event::TxnStart {
+                txn: t.pack(),
+                chain: chain.pack(),
+                donor: donor.0,
+                requestor: requestor.0,
+                payee: payee.map(|p| p.0),
+                piece: piece.0,
+            }
+        );
         self.base.flows.start(donor, requestor, self.base.cfg.file.piece_size, 1.0, t.pack());
         self.states[requestor.index()].expecting.insert(piece);
         if encrypted {
@@ -925,6 +1024,16 @@ impl TChainSwarm {
     /// transaction.
     fn txn_terminal(&mut self, t: TxnId, state: TxnState, cause: ChainEnd) {
         let Some(txn) = self.txns.remove(t) else { return };
+        trace_event!(
+            self.base.trace,
+            self.base.clock.now(),
+            Event::TxnEnd {
+                txn: t.pack(),
+                chain: txn.chain.pack(),
+                completed: state == TxnState::Completed,
+                cause: obs_cause(cause),
+            }
+        );
         if let Some(parent) = txn.parent {
             if let Some(ptxn) = self.txns.get_mut(parent) {
                 ptxn.child_active = false;
@@ -942,7 +1051,18 @@ impl TChainSwarm {
             c.live_txns = c.live_txns.saturating_sub(1);
             if c.live_txns == 0 {
                 match self.chains.remove(txn.chain) {
-                    Some(chain) => self.stats.record_end(cause, chain.txns),
+                    Some(chain) => {
+                        trace_event!(
+                            self.base.trace,
+                            self.base.clock.now(),
+                            Event::ChainClose {
+                                chain: txn.chain.pack(),
+                                length: chain.txns,
+                                cause: obs_cause(cause),
+                            }
+                        );
+                        self.stats.record_end(cause, chain.txns)
+                    }
                     // A stale chain handle (repaired/duplicated bookkeeping
                     // under fault injection): count it rather than panic.
                     None => self.recovery.orphaned_txns += 1,
@@ -955,6 +1075,11 @@ impl TChainSwarm {
 
     fn new_chain(&mut self, origin: ChainOrigin, now: f64) -> ChainId {
         let id = self.chains.insert(Chain { origin, created_at: now, txns: 0, live_txns: 0 });
+        trace_event!(
+            self.base.trace,
+            now,
+            Event::ChainOpen { chain: id.pack(), seeder: origin == ChainOrigin::Seeder }
+        );
         self.stats.active += 1;
         match origin {
             ChainOrigin::Seeder => self.stats.created_by_seeder += 1,
@@ -1056,6 +1181,11 @@ impl TChainSwarm {
         let Some(txn) = self.txns.get(t) else { return };
         let (donor, requestor, piece, payee, parent, encrypted) =
             (txn.donor, txn.requestor, txn.piece, txn.payee, txn.parent, txn.encrypted());
+        trace_event!(
+            self.base.trace,
+            now,
+            Event::UploadDone { txn: t.pack(), donor: donor.0, requestor: requestor.0 }
+        );
         // The donor spent a piece upload's worth of bandwidth.
         self.base.peers.get_mut(donor).pieces_up += 1;
         // This upload reciprocates `parent`: the payee (this upload's
@@ -1134,6 +1264,7 @@ impl TChainSwarm {
         if !self.base.peers.alive(donor) || escrowed {
             if !escrowed {
                 self.recovery.keys_escrowed += 1;
+                trace_event!(self.base.trace, now, Event::KeyEscrowed { txn: parent.pack() });
                 if let Some(t) = self.txns.get_mut(parent) {
                     t.key_escrowed = true;
                 }
@@ -1141,6 +1272,11 @@ impl TChainSwarm {
             self.handle_report(parent, falsified, now);
             return;
         }
+        trace_event!(
+            self.base.trace,
+            now,
+            Event::ReportSent { txn: parent.pack(), from: reporter.0, to: donor.0, falsified }
+        );
         let env = Envelope {
             from: reporter,
             to: donor,
@@ -1195,9 +1331,11 @@ impl TChainSwarm {
     fn send_key(&mut self, parent: TxnId, attempt: u32, now: f64) {
         let Some(p) = self.txns.get(parent) else { return };
         let (donor, requestor, payee, escrowed) = (p.donor, p.requestor, p.payee, p.key_escrowed);
-        let from = if escrowed || !self.base.peers.alive(donor) {
+        let via_escrow = escrowed || !self.base.peers.alive(donor);
+        let from = if via_escrow {
             if !escrowed {
                 self.recovery.keys_escrowed += 1;
+                trace_event!(self.base.trace, now, Event::KeyEscrowed { txn: parent.pack() });
                 if let Some(t) = self.txns.get_mut(parent) {
                     t.key_escrowed = true;
                 }
@@ -1206,6 +1344,16 @@ impl TChainSwarm {
         } else {
             donor
         };
+        trace_event!(
+            self.base.trace,
+            now,
+            Event::KeySent {
+                txn: parent.pack(),
+                from: from.0,
+                to: requestor.0,
+                escrowed: via_escrow,
+            }
+        );
         let env = Envelope {
             from,
             to: requestor,
@@ -1229,6 +1377,11 @@ impl TChainSwarm {
             return;
         }
         let (donor, requestor, piece, collusion) = (p.donor, p.requestor, p.piece, p.collusion);
+        trace_event!(
+            self.base.trace,
+            now,
+            Event::KeyDelivered { txn: parent.pack(), requestor: requestor.0, piece: piece.0 }
+        );
         let cause = if collusion { ChainEnd::Collusion } else { ChainEnd::NoPayee };
         self.pending_dec(donor, requestor);
         self.txn_terminal(parent, TxnState::Completed, cause);
@@ -1262,12 +1415,26 @@ impl TChainSwarm {
             RetryKind::Report { falsified } => {
                 if p.state == TxnState::AwaitingReciprocation {
                     self.recovery.retransmissions += 1;
+                    trace_event!(
+                        self.base.trace,
+                        now,
+                        Event::Retry {
+                            txn: e.txn.pack(),
+                            msg: RetryMsg::Report,
+                            attempt: e.attempt + 1,
+                        }
+                    );
                     self.send_report(e.txn, falsified, e.attempt + 1, now);
                 }
             }
             RetryKind::Key => {
                 if p.state == TxnState::KeyInFlight {
                     self.recovery.retransmissions += 1;
+                    trace_event!(
+                        self.base.trace,
+                        now,
+                        Event::Retry { txn: e.txn.pack(), msg: RetryMsg::Key, attempt: e.attempt + 1 }
+                    );
                     self.send_key(e.txn, e.attempt + 1, now);
                 }
             }
@@ -1288,6 +1455,7 @@ impl TChainSwarm {
             let Some(txn) = self.txns.get(t) else { continue };
             if txn.state == TxnState::AwaitingReciprocation && !txn.child_active {
                 self.recovery.payees_reassigned += 1;
+                trace_event!(self.base.trace, now, Event::PayeeReassigned { txn: t.pack() });
                 self.attempt_reciprocation(t, now);
             }
         }
@@ -1303,6 +1471,7 @@ impl TChainSwarm {
                 // this transaction; close it and account the chain.
                 self.recovery.watchdog_closures += 1;
                 self.recovery.broken_chains += 1;
+                trace_event!(self.base.trace, now, Event::WatchdogClose { txn: t.pack() });
                 self.pending_dec(donor, requestor);
                 self.txn_terminal(t, TxnState::Aborted, ChainEnd::Crash);
             } else if state == TxnState::KeyInFlight {

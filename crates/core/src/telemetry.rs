@@ -52,7 +52,7 @@ impl Telemetry {
     /// unwatched peers).
     pub fn on_encrypted(&mut self, id: NodeId, now: f64) {
         if let Some(tl) = self.timelines.get_mut(&id) {
-            let c = self.enc_counts.get_mut(&id).expect("watched");
+            let c = self.enc_counts.entry(id).or_insert(0);
             *c += 1;
             tl.encrypted.push(now, *c as f64);
         }
@@ -61,7 +61,7 @@ impl Telemetry {
     /// Records a key arrival (piece decrypted) for a watched peer.
     pub fn on_decrypted(&mut self, id: NodeId, now: f64) {
         if let Some(tl) = self.timelines.get_mut(&id) {
-            let c = self.dec_counts.get_mut(&id).expect("watched");
+            let c = self.dec_counts.entry(id).or_insert(0);
             *c += 1;
             tl.decrypted.push(now, *c as f64);
         }

@@ -158,6 +158,21 @@ pub struct ChainStats {
     pub ended: u64,
 }
 
+impl tchain_obs::ExportStats for ChainStats {
+    fn export_stats(&self, prefix: &str, reg: &mut tchain_obs::StatsRegistry) {
+        reg.add(&format!("{prefix}created_by_seeder"), self.created_by_seeder);
+        reg.add(&format!("{prefix}created_by_leechers"), self.created_by_leechers);
+        reg.add(&format!("{prefix}active"), self.active);
+        reg.add(&format!("{prefix}ended_no_payee"), self.ended_no_payee);
+        reg.add(&format!("{prefix}ended_departure"), self.ended_departure);
+        reg.add(&format!("{prefix}ended_stalled"), self.ended_stalled);
+        reg.add(&format!("{prefix}ended_collusion"), self.ended_collusion);
+        reg.add(&format!("{prefix}ended_crash"), self.ended_crash);
+        reg.add(&format!("{prefix}total_txns_ended"), self.total_txns_ended);
+        reg.add(&format!("{prefix}ended"), self.ended);
+    }
+}
+
 impl ChainStats {
     /// Cumulative chains created.
     pub fn created_total(&self) -> u64 {

@@ -32,12 +32,12 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 fn initial_state(key: &KeyBytes, counter: u32, nonce: &Nonce) -> [u32; 16] {
     let mut s = [0u32; 16];
     s[..4].copy_from_slice(&CONSTANTS);
-    for i in 0..8 {
-        s[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+    for (i, w) in key.chunks_exact(4).enumerate() {
+        s[4 + i] = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
     }
     s[12] = counter;
-    for i in 0..3 {
-        s[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+    for (i, w) in nonce.chunks_exact(4).enumerate() {
+        s[13 + i] = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
     }
     s
 }

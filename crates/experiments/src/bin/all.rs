@@ -20,4 +20,5 @@ fn main() {
     f::overhead::run(scale);
     f::analysis_sec3::run(scale);
     f::loss_sweep::run(scale);
+    f::trace::run(scale);
 }

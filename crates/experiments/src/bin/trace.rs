@@ -1,0 +1,34 @@
+//! Traced flash-crowd demo (observability). `TCHAIN_SCALE=quick|paper`.
+//!
+//! - `trace` — run the traced swarm, write `results/trace.<scale>.jsonl`
+//!   (structured event log), `results/trace.<scale>.trace.json`
+//!   (Perfetto-loadable) and the run summary JSON.
+//! - `trace check <file.jsonl>` — validate a previously written event
+//!   log against the schema; exits nonzero on the first bad line.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("check") {
+        let Some(path) = args.get(2) else {
+            eprintln!("usage: trace check <file.jsonl>");
+            std::process::exit(2);
+        };
+        let jsonl = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("trace check: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match tchain_obs::validate_jsonl(&jsonl) {
+            Ok(n) => println!("{path}: {n} records OK"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let scale = tchain_experiments::Scale::from_env();
+    println!("[trace | scale: {}]", scale.name());
+    tchain_experiments::figures::trace::run(scale);
+}

@@ -2,7 +2,7 @@
 //! `k`, opportunistic seeding, direct-reciprocity preference and piece
 //! size. Each is removed/swept in isolation against the same workload.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -30,6 +30,7 @@ fn run_variant(
     spec: FileSpec,
     fr: f64,
     out: &mut Vec<Row>,
+    meta: &mut RunMeta,
 ) {
     let mut times = Vec::new();
     let mut utils = Vec::new();
@@ -39,7 +40,10 @@ fn run_variant(
         let seed = 0xAB00 | r as u64;
         let plan = flash_plan(scale.standard_swarm() / 2, fr, RiderMode::Aggressive, seed);
         let mut sw = TChainSwarm::new(SwarmConfig::paper(spec), cfg, plan, seed);
+        let wall = std::time::Instant::now();
         sw.run_until_done();
+        meta.note_run(wall.elapsed().as_secs_f64());
+        meta.absorb_metrics(&sw.metrics());
         let ct = sw.completion_times(true);
         if !ct.is_empty() {
             times.push(ct.iter().sum::<f64>() / ct.len() as f64);
@@ -62,6 +66,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
     let spec = Proto::TChain.file_spec(scale.file_mib());
     let base = TChainConfig::default();
     let mut rows = Vec::new();
+    let mut meta = RunMeta::default();
     // Flow-control k sweep (§II-D2 fixes k = 2).
     for k in [1u32, 2, 4, 8] {
         run_variant(
@@ -71,10 +76,11 @@ pub fn run(scale: Scale) -> Vec<Row> {
             spec,
             0.25,
             &mut rows,
+            &mut meta,
         );
     }
     // Opportunistic seeding off (§II-D3).
-    run_variant(scale, "opportunistic seeding ON", base, spec, 0.0, &mut rows);
+    run_variant(scale, "opportunistic seeding ON", base, spec, 0.0, &mut rows, &mut meta);
     run_variant(
         scale,
         "opportunistic seeding OFF",
@@ -82,9 +88,10 @@ pub fn run(scale: Scale) -> Vec<Row> {
         spec,
         0.0,
         &mut rows,
+        &mut meta,
     );
     // Direct-reciprocity preference off: pure pay-it-forward.
-    run_variant(scale, "direct reciprocity ON", base, spec, 0.0, &mut rows);
+    run_variant(scale, "direct reciprocity ON", base, spec, 0.0, &mut rows, &mut meta);
     run_variant(
         scale,
         "direct reciprocity OFF",
@@ -92,12 +99,13 @@ pub fn run(scale: Scale) -> Vec<Row> {
         spec,
         0.0,
         &mut rows,
+        &mut meta,
     );
     // Piece-size sweep (§IV-A uses 64 KB).
     for kib in [32.0, 64.0, 128.0, 256.0] {
         let pieces = (spec.file_size() / (kib * 1024.0)).ceil() as usize;
         let s = FileSpec::custom(pieces, kib * 1024.0, kib * 1024.0);
-        run_variant(scale, &format!("piece size {kib:.0} KB"), base, s, 0.0, &mut rows);
+        run_variant(scale, &format!("piece size {kib:.0} KB"), base, s, 0.0, &mut rows, &mut meta);
     }
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -115,6 +123,6 @@ pub fn run(scale: Scale) -> Vec<Row> {
         &["variant", "completion (s)", "uplink", "direct recip."],
         &table,
     );
-    save("ablations", scale.name(), &rows).expect("write results");
+    persist("ablations", scale.name(), &rows, &meta);
     rows
 }

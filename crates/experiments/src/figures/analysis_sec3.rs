@@ -1,7 +1,7 @@
 //! §III-A4/§III-B analytical tables: bootstrapping trajectories,
 //! proposition checks and the collusion probability.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use serde::Serialize;
 use tchain_analysis::bootstrap::{trajectory, BootstrapParams, BootstrapState, PieceDistribution};
@@ -25,6 +25,7 @@ pub struct Data {
 
 /// Evaluates the §III models and prints their tables.
 pub fn run(scale: Scale) -> Data {
+    let wall = std::time::Instant::now();
     let d = PieceDistribution::uniform(100);
     let p = BootstrapParams::default();
     let s0 = BootstrapState { x: 300.0, y: 0.0, n: 600.0 };
@@ -85,6 +86,8 @@ pub fn run(scale: Scale) -> Data {
         &rows,
     );
     let data = Data { trajectories, omegas, prop31, prop32, collusion };
-    save("analysis", scale.name(), &data).expect("write results");
+    let mut meta = RunMeta::default();
+    meta.note_run(wall.elapsed().as_secs_f64());
+    persist("analysis", scale.name(), &data, &meta);
     data
 }

@@ -1,7 +1,7 @@
 //! Fig. 3: completion time and uplink utilization vs swarm size, no
 //! free-riders, all four protocols plus the fluid optimum.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -24,6 +24,7 @@ pub struct Point {
 /// Runs Fig. 3 and returns its points (also printed and saved).
 pub fn run(scale: Scale) -> Vec<Point> {
     let mut points = Vec::new();
+    let mut meta = RunMeta::default();
     let optimal =
         Proto::TChain.file_spec(scale.file_mib()).file_size()
             / CapacityClasses::default().mean_bytes_per_sec();
@@ -42,6 +43,7 @@ pub fn run(scale: Scale) -> Vec<Point> {
                     Horizon::CompliantDone,
                     RunOpts::default(),
                 );
+                meta.absorb(&out);
                 if let Some(m) = out.mean_compliant() {
                     times.push(m);
                 }
@@ -72,6 +74,6 @@ pub fn run(scale: Scale) -> Vec<Point> {
         &rows,
     );
     println!("Optimal (fluid bound file/mean-upload): {optimal:.1} s");
-    save("fig03", scale.name(), &points).expect("write results");
+    persist("fig03", scale.name(), &points, &meta);
     points
 }

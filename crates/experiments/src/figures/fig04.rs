@@ -1,6 +1,6 @@
 //! Fig. 4: T-Chain under (a) file-size and (b) swarm-size sweeps.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -18,6 +18,7 @@ pub struct Data {
 /// Runs Fig. 4 and returns the two series.
 pub fn run(scale: Scale) -> Data {
     let runs = scale.runs().min(4); // sweeps multiply quickly
+    let mut meta = RunMeta::default();
     let mut file_sweep = Vec::new();
     for &mib in &scale.file_sweep_mib() {
         let mut times = Vec::new();
@@ -26,6 +27,7 @@ pub fn run(scale: Scale) -> Data {
             let plan = flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed);
             let out =
                 run_proto(Proto::TChain, mib, plan, seed, Horizon::CompliantDone, RunOpts::default());
+            meta.absorb(&out);
             times.extend(out.mean_compliant());
         }
         file_sweep.push((mib, Summary::of(&times)));
@@ -44,6 +46,7 @@ pub fn run(scale: Scale) -> Data {
                 Horizon::CompliantDone,
                 RunOpts::default(),
             );
+            meta.absorb(&out);
             times.extend(out.mean_compliant());
         }
         swarm_sweep.push((n, Summary::of(&times)));
@@ -55,6 +58,6 @@ pub fn run(scale: Scale) -> Data {
         swarm_sweep.iter().map(|(n, s)| vec![format!("{n}"), format!("{s}")]).collect();
     print_table("Fig. 4(b): T-Chain completion time vs swarm size", &["swarm", "completion (s)"], &rows);
     let data = Data { file_sweep, swarm_sweep };
-    save("fig04", scale.name(), &data).expect("write results");
+    persist("fig04", scale.name(), &data, &meta);
     data
 }

@@ -1,7 +1,7 @@
 //! Fig. 5: per-piece timelines (encrypted received vs keys received) for
 //! the slowest (400 Kbps) and fastest (1200 Kbps) leechers.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -38,10 +38,17 @@ pub fn run(scale: Scale) -> Vec<Timeline> {
             targets.push((id, cap));
         }
     }
+    let wall = std::time::Instant::now();
     sw.run_until_done();
+    let mut meta = RunMeta::default();
+    meta.note_run(wall.elapsed().as_secs_f64());
     let mut out = Vec::new();
     for (id, cap) in targets {
-        let tl = sw.telemetry().timeline(id).expect("watched");
+        // A watched id with no samples (e.g. the peer never exchanged a
+        // piece) just drops out of the figure.
+        let Some(tl) = sw.telemetry().timeline(id) else {
+            continue;
+        };
         out.push(Timeline {
             capacity_kbps: cap,
             encrypted: tl.encrypted.downsample(24).iter().collect(),
@@ -63,6 +70,6 @@ pub fn run(scale: Scale) -> Vec<Timeline> {
             &rows,
         );
     }
-    save("fig05", scale.name(), &out).expect("write results");
+    persist("fig05", scale.name(), &out, &meta);
     out
 }

@@ -3,7 +3,7 @@
 //! see DESIGN.md "Substitutions"), and (b) the effect of pre-occupied
 //! initial pieces on T-Chain completion time.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -37,6 +37,8 @@ pub fn run(scale: Scale) -> Data {
         trace_plan(n, 0.0, RiderMode::Aggressive, seed),
         seed,
     );
+    let mut meta = RunMeta::default();
+    let wall = std::time::Instant::now();
     let mut sampler = SimRng::new(seed ^ 0xD1FF);
     let mut piece_differences = Vec::new();
     let horizon = match scale {
@@ -58,8 +60,10 @@ pub fn run(scale: Scale) -> Data {
             let mut total = 0usize;
             let mut count = 0usize;
             for _ in 0..40 {
-                let a = *sampler.choose(&alive).expect("nonempty");
-                let b = *sampler.choose(&alive).expect("nonempty");
+                let (Some(&a), Some(&b)) = (sampler.choose(&alive), sampler.choose(&alive))
+                else {
+                    break; // unreachable: `alive` has ≥ 2 entries
+                };
                 if a == b {
                     continue;
                 }
@@ -72,6 +76,7 @@ pub fn run(scale: Scale) -> Data {
         }
         t += step;
     }
+    meta.note_run(wall.elapsed().as_secs_f64());
     // (b) Pre-occupied initial pieces sweep for T-Chain.
     let mut initial_fraction_sweep = Vec::new();
     for frac in [0.0, 0.25, 0.5, 0.75, 0.9] {
@@ -87,6 +92,7 @@ pub fn run(scale: Scale) -> Data {
                 Horizon::CompliantDone,
                 RunOpts { initial_piece_fraction: frac, ..Default::default() },
             );
+            meta.absorb(&out);
             times.extend(out.mean_compliant());
         }
         initial_fraction_sweep.push((frac, Summary::of(&times)));
@@ -114,6 +120,6 @@ pub fn run(scale: Scale) -> Data {
         total_pieces: spec.pieces,
         initial_fraction_sweep,
     };
-    save("fig06", scale.name(), &data).expect("write results");
+    persist("fig06", scale.name(), &data, &meta);
     data
 }

@@ -1,7 +1,7 @@
 //! Fig. 7: 25 % free-riders (large-view + whitewash) in a flash crowd —
 //! compliant vs free-rider completion times per protocol.
 
-use crate::output::{fmt_opt, print_table, save};
+use crate::output::{fmt_opt, persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -30,6 +30,7 @@ pub fn run_with_mode(scale: Scale, mode: RiderMode, tag: &str, title: &str) -> V
         Scale::Paper => 50_000.0,
     };
     let mut points = Vec::new();
+    let mut meta = RunMeta::default();
     for proto in Proto::main_four() {
         for &n in &scale.swarm_sizes() {
             let mut ct = Vec::new();
@@ -47,6 +48,7 @@ pub fn run_with_mode(scale: Scale, mode: RiderMode, tag: &str, title: &str) -> V
                     Horizon::ExtendForFreeRiders(horizon),
                     RunOpts::default(),
                 );
+                meta.absorb(&out);
                 ct.extend(out.mean_compliant());
                 frt.extend(out.mean_free_rider());
                 finished += out.free_rider_times.len();
@@ -74,7 +76,7 @@ pub fn run_with_mode(scale: Scale, mode: RiderMode, tag: &str, title: &str) -> V
         })
         .collect();
     print_table(title, &["protocol", "swarm", "compliant (s)", "free-rider (s)", "FR done"], &rows);
-    save(tag, scale.name(), &points).expect("write results");
+    persist(tag, scale.name(), &points, &meta);
     points
 }
 

@@ -2,7 +2,7 @@
 //! completion time per protocol (steady state: first K completions minus
 //! a warm-up prefix).
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -27,6 +27,7 @@ pub fn run(scale: Scale) -> Vec<Point> {
         Scale::Paper => 100_000.0,
     };
     let mut points = Vec::new();
+    let mut meta = RunMeta::default();
     for proto in Proto::main_four() {
         for fr_pct in [0u32, 10, 25, 50] {
             let frac = fr_pct as f64 / 100.0;
@@ -46,6 +47,7 @@ pub fn run(scale: Scale) -> Vec<Point> {
                     Horizon::CompliantCount(measure, horizon),
                     RunOpts::default(),
                 );
+                meta.absorb(&out);
                 let steady: Vec<f64> = out
                     .compliant_times
                     .iter()
@@ -73,6 +75,6 @@ pub fn run(scale: Scale) -> Vec<Point> {
         &["protocol", "free-riders", "completion (s)"],
         &rows,
     );
-    save("fig09", scale.name(), &points).expect("write results");
+    persist("fig09", scale.name(), &points, &meta);
     points
 }

@@ -1,7 +1,7 @@
 //! Fig. 10: number of active chains over time, tracking active leechers,
 //! under (a) a flash crowd and (b) trace arrivals.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, trace_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -23,6 +23,7 @@ pub struct Census {
 pub fn run(scale: Scale) -> Vec<Census> {
     let spec = Proto::TChain.file_spec(scale.file_mib());
     let mut out = Vec::new();
+    let mut meta = RunMeta::default();
     // (a) Flash crowd, run to completion.
     let seed = 100;
     let mut sw = TChainSwarm::new(
@@ -31,7 +32,10 @@ pub fn run(scale: Scale) -> Vec<Census> {
         flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed),
         seed,
     );
+    let wall = std::time::Instant::now();
     sw.run_until_done();
+    meta.note_run(wall.elapsed().as_secs_f64());
+    meta.absorb_metrics(&sw.metrics());
     out.push(Census {
         scenario: "flash crowd".into(),
         chains: sw.chain_series().downsample(24).iter().collect(),
@@ -48,7 +52,10 @@ pub fn run(scale: Scale) -> Vec<Census> {
         trace_plan(scale.standard_swarm() * 2, 0.0, RiderMode::Aggressive, seed + 1),
         seed + 1,
     );
+    let wall = std::time::Instant::now();
     sw.run_to(horizon);
+    meta.note_run(wall.elapsed().as_secs_f64());
+    meta.absorb_metrics(&sw.metrics());
     out.push(Census {
         scenario: "trace".into(),
         chains: sw.chain_series().downsample(24).iter().collect(),
@@ -69,6 +76,6 @@ pub fn run(scale: Scale) -> Vec<Census> {
             &rows,
         );
     }
-    save("fig10", scale.name(), &out).expect("write results");
+    persist("fig10", scale.name(), &out, &meta);
     out
 }

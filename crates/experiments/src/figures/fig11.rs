@@ -2,7 +2,7 @@
 //! (opportunistic seeding) in a flash crowd; (b) the opportunistic
 //! fraction vs free-rider share under trace arrivals.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, trace_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -30,6 +30,8 @@ pub fn run(scale: Scale) -> Data {
         flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed),
         seed,
     );
+    let mut meta = RunMeta::default();
+    let wall = std::time::Instant::now();
     let mut cumulative = Vec::new();
     let mut next_sample = 0.0;
     loop {
@@ -47,6 +49,8 @@ pub fn run(scale: Scale) -> Data {
             break;
         }
     }
+    meta.note_run(wall.elapsed().as_secs_f64());
+    meta.absorb_metrics(&sw.metrics());
     // (b) trace with free-rider sweep.
     let mut opportunistic_by_fr = Vec::new();
     for fr_pct in [0u32, 25, 50] {
@@ -62,7 +66,10 @@ pub fn run(scale: Scale) -> Data {
             Scale::Quick => 2_000.0,
             Scale::Paper => 8_000.0,
         };
+        let wall = std::time::Instant::now();
         sw.run_to(horizon);
+        meta.note_run(wall.elapsed().as_secs_f64());
+        meta.absorb_metrics(&sw.metrics());
         opportunistic_by_fr.push((fr_pct, sw.chain_stats().opportunistic_fraction()));
     }
     let rows: Vec<Vec<String>> = cumulative
@@ -85,6 +92,6 @@ pub fn run(scale: Scale) -> Data {
         &rows,
     );
     let data = Data { cumulative, opportunistic_by_fr };
-    save("fig11", scale.name(), &data).expect("write results");
+    persist("fig11", scale.name(), &data, &meta);
     data
 }

@@ -1,6 +1,6 @@
 //! Fig. 12: fairness-factor CDFs without and with 25 % free-riders.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -29,6 +29,7 @@ pub fn run(scale: Scale) -> Vec<Curve> {
         Scale::Paper => 100_000.0,
     };
     let mut curves = Vec::new();
+    let mut meta = RunMeta::default();
     for fr_pct in [0u32, 25] {
         let frac = fr_pct as f64 / 100.0;
         for proto in Proto::main_four() {
@@ -46,6 +47,7 @@ pub fn run(scale: Scale) -> Vec<Curve> {
                     Horizon::CompliantCount(measure, horizon),
                     RunOpts::default(),
                 );
+                meta.absorb(&out);
                 // Last `pop` finished compliant leechers (steady state).
                 let skip = out.fairness.len().saturating_sub(pop);
                 factors.extend(out.fairness.iter().copied().skip(skip));
@@ -78,6 +80,6 @@ pub fn run(scale: Scale) -> Vec<Curve> {
         &["protocol", "free-riders", "median", "p90", ">1.25"],
         &rows,
     );
-    save("fig12", scale.name(), &curves).expect("write results");
+    persist("fig12", scale.name(), &curves, &meta);
     curves
 }

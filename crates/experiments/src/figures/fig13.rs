@@ -2,7 +2,7 @@
 //! throughput vs number of pieces, with 0 % and 50 % free-riders,
 //! including Random BitTorrent.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -30,6 +30,7 @@ pub fn run(scale: Scale) -> Vec<Point> {
     let window = scale.small_file_window();
     let n = scale.small_file_swarm();
     let mut points = Vec::new();
+    let mut meta = RunMeta::default();
     for fr_pct in [0u32, 50] {
         for proto in Proto::with_random_bt() {
             for &pieces in &piece_counts {
@@ -50,6 +51,7 @@ pub fn run(scale: Scale) -> Vec<Point> {
                             ..Default::default()
                         },
                     );
+                    meta.absorb(&out);
                     tp.push(out.mean_goodput * 8.0 / 1000.0); // → Kbps
                 }
                 points.push(Point {
@@ -77,6 +79,6 @@ pub fn run(scale: Scale) -> Vec<Point> {
         &["protocol", "free-riders", "pieces", "throughput"],
         &rows,
     );
-    save("fig13", scale.name(), &points).expect("write results");
+    persist("fig13", scale.name(), &points, &meta);
     points
 }

@@ -9,7 +9,7 @@
 //! exposed surface; the baselines only lose tracker queries and unchoke
 //! offers, so they bracket the cost of T-Chain's extra round trips.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto_with_faults, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -41,6 +41,7 @@ pub fn run(scale: Scale) -> Vec<Point> {
     let protos = [Proto::Baseline(Baseline::FairTorrent), Proto::TChain];
     let losses: [f64; 5] = [0.0, 0.05, 0.10, 0.20, 0.30];
     let mut points = Vec::new();
+    let mut meta = RunMeta::default();
     for (pi, &proto) in protos.iter().enumerate() {
         for (li, &loss) in losses.iter().enumerate() {
             let mut times = Vec::new();
@@ -63,6 +64,7 @@ pub fn run(scale: Scale) -> Vec<Point> {
                     RunOpts::default(),
                     faults,
                 );
+                meta.absorb(&out);
                 if let Some(m) = out.mean_compliant() {
                     times.push(m);
                 }
@@ -98,6 +100,6 @@ pub fn run(scale: Scale) -> Vec<Point> {
         &["protocol", "loss", "completion (s)", "DNF", "dropped", "retx", "escrows", "watchdog"],
         &rows,
     );
-    save("loss_sweep", scale.name(), &points).expect("write results");
+    persist("loss_sweep", scale.name(), &points, &meta);
     points
 }

@@ -18,3 +18,4 @@ pub mod loss_sweep;
 pub mod overhead;
 pub mod streaming;
 pub mod table2;
+pub mod trace;

@@ -1,7 +1,7 @@
 //! §III-C overhead accounting, with the cipher throughput *measured* on
 //! this machine (same code path as the `crypto` criterion bench).
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use serde::Serialize;
 use tchain_analysis::EncryptionOverhead;
@@ -25,6 +25,7 @@ pub struct Data {
 
 /// Measures the cipher and prints the §III-C table.
 pub fn run(scale: Scale) -> Data {
+    let wall = std::time::Instant::now();
     let mut ring = Keyring::new(1);
     let (_, key) = ring.mint();
     let mut buf = vec![0u8; 4 * 1024 * 1024];
@@ -75,6 +76,8 @@ pub fn run(scale: Scale) -> Data {
             ],
         ],
     );
-    save("overhead", scale.name(), &data).expect("write results");
+    let mut meta = RunMeta::default();
+    meta.note_run(wall.elapsed().as_secs_f64());
+    persist("overhead", scale.name(), &data, &meta);
     data
 }

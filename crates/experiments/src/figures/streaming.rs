@@ -8,7 +8,7 @@
 //! leecher's completion log: startup delay, rebuffering events and
 //! stalled time.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -100,6 +100,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
         ("window = 8", PieceSelection::Streaming { window: 8 }),
     ];
     let mut rows = Vec::new();
+    let mut meta = RunMeta::default();
     for (label, policy) in policies {
         let mut startup = Vec::new();
         let mut rebuf = Vec::new();
@@ -116,7 +117,10 @@ pub fn run(scale: Scale) -> Vec<Row> {
             for &v in &viewers {
                 sw.telemetry_mut().watch(v);
             }
+            let wall = std::time::Instant::now();
             sw.run_until_done();
+            meta.note_run(wall.elapsed().as_secs_f64());
+            meta.absorb_metrics(&sw.metrics());
             completion.extend(sw.completion_times(true).iter().copied());
             for &v in &viewers {
                 let Some(tl) = sw.telemetry().timeline(v) else { continue };
@@ -155,7 +159,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
         &["policy", "startup (s)", "rebuffers", "stalled (s)", "download (s)"],
         &table,
     );
-    save("streaming", scale.name(), &rows).expect("write results");
+    persist("streaming", scale.name(), &rows, &meta);
     rows
 }
 

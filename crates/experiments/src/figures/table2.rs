@@ -9,7 +9,7 @@
 //! `tchain-baselines` models of those schemes; structural rows
 //! (simplicity, TTP reliance) are properties of the designs themselves.
 
-use crate::output::{print_table, save};
+use crate::output::{persist, print_table, RunMeta};
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -52,7 +52,13 @@ fn mark(ratio: f64) -> Cell {
 
 /// Runs one mini-swarm and returns the free-riders' progress ratio:
 /// (FR pieces/time) / (compliant pieces/time).
-fn progress_ratio(proto: Proto, fr: FreeRiderConfig, colluding: bool, seed: u64) -> f64 {
+fn progress_ratio(
+    proto: Proto,
+    fr: FreeRiderConfig,
+    colluding: bool,
+    seed: u64,
+    meta: &mut RunMeta,
+) -> f64 {
     let n = 36;
     let mut plan = flash_plan(n, 0.0, RiderMode::Aggressive, seed);
     for i in 0..8usize {
@@ -65,6 +71,7 @@ fn progress_ratio(proto: Proto, fr: FreeRiderConfig, colluding: bool, seed: u64)
     }
     let spec = proto.file_spec(2.0);
     let horizon = 900.0;
+    let wall = std::time::Instant::now();
     let (fr_rate, compliant_rate) = match proto {
         Proto::TChain => {
             let mut sw = TChainSwarm::new(
@@ -74,6 +81,7 @@ fn progress_ratio(proto: Proto, fr: FreeRiderConfig, colluding: bool, seed: u64)
                 seed,
             );
             sw.run_to(horizon);
+            meta.absorb_metrics(&sw.metrics());
             rates(sw.base(), horizon)
         }
         Proto::Baseline(b) => {
@@ -85,9 +93,11 @@ fn progress_ratio(proto: Proto, fr: FreeRiderConfig, colluding: bool, seed: u64)
                 seed,
             );
             sw.run_to(horizon);
+            meta.absorb_metrics(&sw.metrics());
             rates(sw.base(), horizon)
         }
     };
+    meta.note_run(wall.elapsed().as_secs_f64());
     if compliant_rate <= 0.0 {
         0.0
     } else {
@@ -157,6 +167,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
     let whitewash = FreeRiderConfig { large_view: true, whitewash: true, ..Default::default() };
     let protos = Proto::main_four();
     let mut rows = Vec::new();
+    let mut meta = RunMeta::default();
 
     let attack_rows: [(&str, FreeRiderConfig, bool); 4] = [
         ("Exploiting Altruism / Cheating", plain, false),
@@ -165,8 +176,10 @@ pub fn run(scale: Scale) -> Vec<Row> {
         ("Collusion (false reports)", whitewash, true),
     ];
     for (name, cfg, colluding) in attack_rows {
-        let mut cells: Vec<Cell> =
-            protos.iter().map(|&p| mark(progress_ratio(p, cfg, colluding, 0x72))).collect();
+        let mut cells: Vec<Cell> = protos
+            .iter()
+            .map(|&p| mark(progress_ratio(p, cfg, colluding, 0x72, &mut meta)))
+            .collect();
         // EigenTrust / Dandelion model columns.
         let et = match name {
             "Collusion (false reports)" => eigentrust_ratio(Actor::Colluder, 20),
@@ -212,6 +225,6 @@ pub fn run(scale: Scale) -> Vec<Row> {
         &header,
         &table,
     );
-    save("table2", scale.name(), &rows).expect("write results");
+    persist("table2", scale.name(), &rows, &meta);
     rows
 }

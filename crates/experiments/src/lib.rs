@@ -19,7 +19,7 @@ mod output;
 mod scale;
 mod scenario;
 
-pub use output::{fmt_opt, print_table, results_dir, save};
+pub use output::{fmt_opt, persist, print_table, results_dir, save, save_with_meta, RunMeta};
 pub use scale::Scale;
 pub use scenario::{
     flash_plan, run_proto, run_proto_with_faults, trace_plan, Horizon, Proto, RiderMode, RunOpts,

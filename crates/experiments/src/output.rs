@@ -7,6 +7,54 @@
 use serde::Serialize;
 use std::path::PathBuf;
 
+use tchain_obs::{MetricMap, PhaseProfile};
+
+use crate::scenario::RunOutcome;
+
+/// Aggregated observability bookkeeping for one figure's batch of runs,
+/// persisted next to the figure data by [`persist`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunMeta {
+    /// Simulator runs absorbed into this record.
+    pub runs: u64,
+    /// Summed host wall-clock seconds across those runs.
+    pub wall_clock_s: f64,
+    /// Largest event-ring high-water mark seen (0 with tracing off).
+    pub peak_event_depth: u64,
+    /// Per-phase main-loop profile merged across runs (empty unless
+    /// profiling was on).
+    pub phases: PhaseProfile,
+    /// Named metrics from the stats registry, summed across runs.
+    pub metrics: MetricMap,
+}
+
+impl RunMeta {
+    /// Folds one run's bookkeeping into the batch record.
+    pub fn absorb(&mut self, out: &RunOutcome) {
+        self.runs += 1;
+        self.wall_clock_s += out.wall_clock_s;
+        self.peak_event_depth = self.peak_event_depth.max(out.peak_event_depth as u64);
+        self.phases.merge(&out.phases);
+        self.absorb_metrics(&out.metrics);
+    }
+
+    /// Counts a run driven outside [`crate::run_proto`] (figure modules
+    /// that step a swarm directly), with its measured wall clock.
+    pub fn note_run(&mut self, wall_clock_s: f64) {
+        self.runs += 1;
+        self.wall_clock_s += wall_clock_s;
+    }
+
+    /// Sums a driver metric snapshot into the batch (for directly-driven
+    /// swarms, pairs with [`RunMeta::note_run`]).
+    pub fn absorb_metrics(&mut self, metrics: &MetricMap) {
+        for (k, &v) in metrics {
+            let slot = self.metrics.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(v);
+        }
+    }
+}
+
 /// Directory for experiment outputs (repo-root `results/`, overridable
 /// with `TCHAIN_RESULTS`).
 pub fn results_dir() -> PathBuf {
@@ -22,10 +70,45 @@ pub fn results_dir() -> PathBuf {
 
 /// Serializes a figure's data to `results/<name>.<scale>.json`.
 pub fn save<T: Serialize>(name: &str, scale: &str, data: &T) -> std::io::Result<PathBuf> {
+    let json = to_json(data)?;
+    write_results_file(name, scale, json)
+}
+
+/// Serializes a figure's data plus its [`RunMeta`] as a two-field
+/// document `{"meta": …, "data": …}` to `results/<name>.<scale>.json`.
+pub fn save_with_meta<T: Serialize>(
+    name: &str,
+    scale: &str,
+    data: &T,
+    meta: &RunMeta,
+) -> std::io::Result<PathBuf> {
+    write_results_file(name, scale, meta_document(data, meta)?)
+}
+
+/// Hand-assembled `{"meta": …, "data": …}` envelope: the two parts are
+/// serialized separately so the document shape stays fixed regardless of
+/// `T`.
+fn meta_document<T: Serialize>(data: &T, meta: &RunMeta) -> std::io::Result<String> {
+    Ok(format!("{{\n\"meta\": {},\n\"data\": {}\n}}", to_json(meta)?, to_json(data)?))
+}
+
+/// Saves a figure document with run metadata; failures are reported on
+/// stderr instead of panicking so a long sweep still prints its tables.
+pub fn persist<T: Serialize>(name: &str, scale: &str, data: &T, meta: &RunMeta) {
+    if let Err(e) = save_with_meta(name, scale, data, meta) {
+        eprintln!("warning: failed to write results/{name}.{scale}.json: {e}");
+    }
+}
+
+fn to_json<T: Serialize>(data: &T) -> std::io::Result<String> {
+    serde_json::to_string_pretty(data)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn write_results_file(name: &str, scale: &str, json: String) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.{scale}.json"));
-    let json = serde_json::to_string_pretty(data).expect("serializable figure data");
     std::fs::write(&path, json)?;
     Ok(path)
 }
@@ -78,6 +161,32 @@ mod tests {
         assert_eq!(back, vec![1.0, 2.0]);
         std::env::remove_var("TCHAIN_RESULTS");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_meta_absorbs_runs() {
+        let mut meta = RunMeta::default();
+        let mut out = RunOutcome { wall_clock_s: 0.5, peak_event_depth: 7, ..Default::default() };
+        out.metrics.insert("txns.completed".into(), 3);
+        meta.absorb(&out);
+        out.peak_event_depth = 4;
+        meta.absorb(&out);
+        assert_eq!(meta.runs, 2);
+        assert_eq!(meta.peak_event_depth, 7, "peak takes the max");
+        assert_eq!(meta.metrics["txns.completed"], 6, "metrics sum");
+        assert!((meta.wall_clock_s - 1.0).abs() < 1e-12);
+        meta.note_run(0.25);
+        assert_eq!(meta.runs, 3);
+    }
+
+    #[test]
+    fn meta_envelope_has_fixed_shape() {
+        let meta = RunMeta { runs: 2, ..Default::default() };
+        let doc = meta_document(&vec![1u64, 2], &meta).unwrap();
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains("\"meta\""));
+        assert!(doc.contains("\"data\""));
+        assert!(doc.contains("\"runs\""));
     }
 
     #[test]

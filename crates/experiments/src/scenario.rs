@@ -1,10 +1,13 @@
 //! Scenario builders: workloads × strategies → peer plans, plus the
 //! protocol-agnostic run wrapper the figure modules share.
 
+use std::time::Instant;
+
 use tchain_attacks::{GroupId, PeerPlan, Strategy};
 use tchain_baselines::{Baseline, BaselineConfig, BaselineSwarm};
 use tchain_core::{TChainConfig, TChainSwarm};
 use tchain_metrics::RecoveryCounters;
+use tchain_obs::{MetricMap, PhaseProfile, TraceRecord};
 use tchain_proto::{FileSpec, Role, SwarmConfig};
 use tchain_sim::FaultPlan;
 use tchain_workloads::{flash_crowd, CapacityClasses, TraceModel};
@@ -164,6 +167,18 @@ pub struct RunOutcome {
     /// Fault-layer delivery statistics and recovery tallies (all zero on
     /// a fault-free run with no departures triggering escrow).
     pub recovery: RecoveryCounters,
+    /// Host wall-clock seconds the run took. Measurement only — never
+    /// fed back into the simulation, so it varies across hosts while the
+    /// simulated results stay deterministic.
+    pub wall_clock_s: f64,
+    /// High-water mark of the event ring (0 when tracing was off).
+    pub peak_event_depth: usize,
+    /// Per-phase wall-clock profile (empty unless profiling was on).
+    pub phases: PhaseProfile,
+    /// Unified named-metric snapshot from the driver's stats registry.
+    pub metrics: MetricMap,
+    /// Buffered trace records (empty unless tracing was on).
+    pub trace_records: Vec<TraceRecord>,
 }
 
 /// Extra horizon to run past compliant completion so baseline free-riders
@@ -194,6 +209,10 @@ pub struct RunOpts {
     /// Override the file with `n` pieces of 64 KB (Fig. 13's small
     /// files); blocks stay at 16 KB for the block-based protocols.
     pub custom_pieces: Option<usize>,
+    /// Record structured events into a ring of this capacity.
+    pub trace_capacity: Option<usize>,
+    /// Profile the driver main loop per [`tchain_obs::Phase`].
+    pub profile: bool,
 }
 
 /// Runs one protocol over one plan and collects the uniform outcome.
@@ -231,6 +250,7 @@ pub fn run_proto_with_faults(
         None => proto.file_spec(file_mib),
     };
     let scfg = SwarmConfig::paper(spec);
+    let wall_start = Instant::now();
     match proto {
         Proto::TChain => {
             let cfg = TChainConfig {
@@ -239,6 +259,12 @@ pub fn run_proto_with_faults(
                 ..Default::default()
             };
             let mut sw = TChainSwarm::with_faults(scfg, cfg, plan, seed, faults);
+            if let Some(cap) = opts.trace_capacity {
+                sw.enable_tracing(cap);
+            }
+            if opts.profile {
+                sw.enable_profiling();
+            }
             match horizon {
                 Horizon::CompliantDone => sw.run_until_done(),
                 Horizon::Fixed(t) => sw.run_to(t),
@@ -260,6 +286,11 @@ pub fn run_proto_with_faults(
             let fr = sw.free_rider_results();
             let mut out = collect(sw.base(), spec.piece_size, fr, |p| p.fairness_factor());
             out.recovery = sw.recovery_counters();
+            out.metrics = sw.metrics();
+            out.phases = sw.profile();
+            out.peak_event_depth = sw.tracer().peak_depth();
+            out.trace_records = sw.tracer().records();
+            out.wall_clock_s = wall_start.elapsed().as_secs_f64();
             out
         }
         Proto::Baseline(b) => {
@@ -269,6 +300,12 @@ pub fn run_proto_with_faults(
                 ..Default::default()
             };
             let mut sw = BaselineSwarm::with_faults(scfg, cfg, b, plan, seed, faults);
+            if let Some(cap) = opts.trace_capacity {
+                sw.enable_tracing(cap);
+            }
+            if opts.profile {
+                sw.enable_profiling();
+            }
             match horizon {
                 Horizon::CompliantDone => sw.run_until_done(),
                 Horizon::Fixed(t) => sw.run_to(t),
@@ -300,6 +337,11 @@ pub fn run_proto_with_faults(
                 })
             };
             out.recovery = sw.recovery_counters();
+            out.metrics = sw.metrics();
+            out.phases = sw.profile();
+            out.peak_event_depth = sw.tracer().peak_depth();
+            out.trace_records = sw.tracer().records();
+            out.wall_clock_s = wall_start.elapsed().as_secs_f64();
             out
         }
     }
@@ -345,7 +387,7 @@ fn collect(
         fairness: compliant.iter().filter_map(|c| c.2).collect(),
         mean_goodput: if goodput_n == 0 { 0.0 } else { goodput_sum / goodput_n as f64 },
         sim_time: now,
-        recovery: RecoveryCounters::default(),
+        ..RunOutcome::default()
     }
 }
 
@@ -358,6 +400,29 @@ impl RunOutcome {
     /// Mean free-rider completion time, if any finished.
     pub fn mean_free_rider(&self) -> Option<f64> {
         mean(&self.free_rider_times)
+    }
+
+    /// Equality over the simulation-determined fields only: host-side
+    /// measurements (wall clock, profiler timings, trace buffers and the
+    /// `trace.*` gauges they feed) are excluded, so a traced run must
+    /// compare equal to the same seed run untraced.
+    pub fn deterministic_eq(&self, other: &RunOutcome) -> bool {
+        fn sim_metrics(m: &MetricMap) -> MetricMap {
+            m.iter()
+                .filter(|(k, _)| !k.starts_with("trace."))
+                .map(|(k, &v)| (k.clone(), v))
+                .collect()
+        }
+        self.compliant_times == other.compliant_times
+            && self.free_rider_times == other.free_rider_times
+            && self.unfinished_compliant == other.unfinished_compliant
+            && self.unfinished_free_riders == other.unfinished_free_riders
+            && self.uplink_utilization == other.uplink_utilization
+            && self.fairness == other.fairness
+            && self.mean_goodput == other.mean_goodput
+            && self.sim_time == other.sim_time
+            && self.recovery == other.recovery
+            && sim_metrics(&self.metrics) == sim_metrics(&other.metrics)
     }
 }
 

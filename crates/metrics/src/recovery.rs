@@ -33,6 +33,23 @@ pub struct RecoveryCounters {
     pub orphaned_txns: u64,
 }
 
+impl tchain_obs::ExportStats for RecoveryCounters {
+    fn export_stats(&self, prefix: &str, reg: &mut tchain_obs::StatsRegistry) {
+        reg.add(&format!("{prefix}ctrl_sent"), self.ctrl_sent);
+        reg.add(&format!("{prefix}ctrl_dropped"), self.ctrl_dropped);
+        reg.add(&format!("{prefix}ctrl_delayed"), self.ctrl_delayed);
+        reg.add(&format!("{prefix}tracker_dropped"), self.tracker_dropped);
+        reg.add(&format!("{prefix}retransmissions"), self.retransmissions);
+        reg.add(&format!("{prefix}retry_exhausted"), self.retry_exhausted);
+        reg.add(&format!("{prefix}watchdog_closures"), self.watchdog_closures);
+        reg.add(&format!("{prefix}payees_reassigned"), self.payees_reassigned);
+        reg.add(&format!("{prefix}keys_escrowed"), self.keys_escrowed);
+        reg.add(&format!("{prefix}crashes"), self.crashes);
+        reg.add(&format!("{prefix}broken_chains"), self.broken_chains);
+        reg.add(&format!("{prefix}orphaned_txns"), self.orphaned_txns);
+    }
+}
+
 impl RecoveryCounters {
     /// Sums two counter sets (e.g. aggregating over seeds).
     pub fn merge(&mut self, other: &RecoveryCounters) {

@@ -1,0 +1,290 @@
+//! The typed event taxonomy: everything a run can say about itself.
+//!
+//! Events carry raw `u32`/`u64` identifiers rather than the drivers'
+//! newtypes so this crate stays a leaf dependency of `sim`, `proto`,
+//! `core` and `baselines` alike. Each variant maps to a protocol step of
+//! §II-B (or a fault/recovery branch of the §II-B4 machinery); see
+//! DESIGN.md's Observability section for the span mapping.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a transaction or chain ended — mirrors `tchain_core::ChainEnd`
+/// without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EndCause {
+    /// §II-B3 termination: no payee existed, the upload went unencrypted.
+    NoPayee,
+    /// A participant departed gracefully mid-transaction.
+    Departure,
+    /// The requestor never reciprocated (free-riding stall sweep).
+    Stalled,
+    /// A false reception report short-circuited the exchange (§IV-D).
+    Collusion,
+    /// A participant crashed abruptly (fault injection).
+    Crash,
+}
+
+/// Which control message a retransmission re-sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RetryMsg {
+    /// The reception report payee → donor (§II-B2 step 3).
+    Report,
+    /// The decryption key donor → requestor (§II-B2 step 4).
+    Key,
+}
+
+/// One structured trace event.
+///
+/// The `type` tag in the serialized form is the variant name in
+/// `snake_case`; unknown fields are rejected on deserialization, so the
+/// enum itself *is* the JSONL schema ([`crate::validate_jsonl`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case", deny_unknown_fields)]
+pub enum Event {
+    /// A triangle transaction started: the donor's upload is in flight
+    /// (§II-B2 step 1; unencrypted when `payee` is absent, §II-B3).
+    TxnStart {
+        /// Packed transaction handle.
+        txn: u64,
+        /// Packed chain handle.
+        chain: u64,
+        /// Uploader (`D_j`).
+        donor: u32,
+        /// Recipient who owes reciprocation (`R_j`).
+        requestor: u32,
+        /// Designated payee (`P_j`); `None` for a termination upload.
+        payee: Option<u32>,
+        /// Piece index.
+        piece: u32,
+    },
+    /// The (encrypted) piece finished uploading (§II-B2 step 2).
+    UploadDone {
+        /// Packed transaction handle.
+        txn: u64,
+        /// Uploader.
+        donor: u32,
+        /// Recipient.
+        requestor: u32,
+    },
+    /// A reception report was sent toward the donor (§II-B2 step 3).
+    ReportSent {
+        /// Transaction the report closes.
+        txn: u64,
+        /// Reporting peer (the payee, or the escrow holder).
+        from: u32,
+        /// The donor.
+        to: u32,
+        /// The report is a collusion lie (§III-A4).
+        falsified: bool,
+    },
+    /// The decryption key was sent toward the requestor (§II-B2 step 4).
+    KeySent {
+        /// Transaction whose key is released.
+        txn: u64,
+        /// The donor, or the escrow-holding payee (§II-B4).
+        from: u32,
+        /// The requestor.
+        to: u32,
+        /// The key came out of §II-B4 escrow.
+        escrowed: bool,
+    },
+    /// The key arrived and the requestor decrypted the piece.
+    KeyDelivered {
+        /// The completed transaction.
+        txn: u64,
+        /// The decrypting requestor.
+        requestor: u32,
+        /// Piece index.
+        piece: u32,
+    },
+    /// A transaction reached a terminal state.
+    TxnEnd {
+        /// Packed transaction handle.
+        txn: u64,
+        /// Packed chain handle.
+        chain: u64,
+        /// `true` for completed, `false` for aborted.
+        completed: bool,
+        /// Terminal cause.
+        cause: EndCause,
+    },
+    /// A chain opened (§II-B1 initiation or §II-D3 opportunistic).
+    ChainOpen {
+        /// Packed chain handle.
+        chain: u64,
+        /// `true` when the seeder initiated it.
+        seeder: bool,
+    },
+    /// The chain's last live transaction retired.
+    ChainClose {
+        /// Packed chain handle.
+        chain: u64,
+        /// Transactions the chain spawned (its length).
+        length: u32,
+        /// Why it ended.
+        cause: EndCause,
+    },
+    /// A retransmission timer fired and re-sent a control message.
+    Retry {
+        /// The waiting transaction.
+        txn: u64,
+        /// Which message was re-sent.
+        msg: RetryMsg,
+        /// Attempt number (1-based over re-sends).
+        attempt: u32,
+    },
+    /// The donor died and the key moved into §II-B4 escrow with the payee.
+    KeyEscrowed {
+        /// The affected transaction.
+        txn: u64,
+    },
+    /// The watchdog closed a transaction stuck on a dead participant.
+    WatchdogClose {
+        /// The closed transaction.
+        txn: u64,
+    },
+    /// §II-B4 repair: the donor designated a replacement payee.
+    PayeeReassigned {
+        /// The repaired transaction.
+        txn: u64,
+    },
+    /// A baseline driver unchoked a neighbor (upload slot granted).
+    Unchoke {
+        /// The unchoking peer.
+        peer: u32,
+        /// The unchoked neighbor.
+        target: u32,
+        /// Optimistic (exploration) slot rather than a regular one.
+        optimistic: bool,
+    },
+    /// A baseline driver choked a neighbor (upload slot revoked).
+    Choke {
+        /// The choking peer.
+        peer: u32,
+        /// The choked neighbor.
+        target: u32,
+    },
+    /// A peer joined the swarm.
+    PeerJoin {
+        /// The new peer.
+        peer: u32,
+        /// Whether it follows the protocol (free-riders do not).
+        compliant: bool,
+    },
+    /// A peer left the swarm (graceful departure or completion).
+    PeerDepart {
+        /// The departed peer.
+        peer: u32,
+    },
+    /// A peer crashed abruptly (fault injection) — no §II-B4 goodbye.
+    PeerCrash {
+        /// The crashed peer.
+        peer: u32,
+    },
+    /// The fault layer dropped a control message.
+    CtrlDropped {
+        /// Sender.
+        from: u32,
+        /// Intended recipient.
+        to: u32,
+    },
+    /// The fault layer delayed a control message.
+    CtrlDelayed {
+        /// Sender.
+        from: u32,
+        /// Recipient.
+        to: u32,
+        /// Scheduled delivery time (simulated seconds).
+        until: f64,
+    },
+}
+
+impl Event {
+    /// Short stable name of the variant (the serialized `type` tag).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TxnStart { .. } => "txn_start",
+            Event::UploadDone { .. } => "upload_done",
+            Event::ReportSent { .. } => "report_sent",
+            Event::KeySent { .. } => "key_sent",
+            Event::KeyDelivered { .. } => "key_delivered",
+            Event::TxnEnd { .. } => "txn_end",
+            Event::ChainOpen { .. } => "chain_open",
+            Event::ChainClose { .. } => "chain_close",
+            Event::Retry { .. } => "retry",
+            Event::KeyEscrowed { .. } => "key_escrowed",
+            Event::WatchdogClose { .. } => "watchdog_close",
+            Event::PayeeReassigned { .. } => "payee_reassigned",
+            Event::Unchoke { .. } => "unchoke",
+            Event::Choke { .. } => "choke",
+            Event::PeerJoin { .. } => "peer_join",
+            Event::PeerDepart { .. } => "peer_depart",
+            Event::PeerCrash { .. } => "peer_crash",
+            Event::CtrlDropped { .. } => "ctrl_dropped",
+            Event::CtrlDelayed { .. } => "ctrl_delayed",
+        }
+    }
+}
+
+/// One buffered trace record: a timestamped, sequence-numbered [`Event`].
+///
+/// The sequence number is assigned at record time and strictly increases,
+/// so two records at the same simulated instant still have a total order
+/// — the property the byte-identical-JSONL determinism tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TraceRecord {
+    /// Simulated time of the event, seconds.
+    pub t: f64,
+    /// Monotone sequence number (gaps mean the ring overwrote records).
+    pub seq: u64,
+    /// The event itself (flattened into the record's JSON object).
+    #[serde(flatten)]
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_json() {
+        let r = TraceRecord {
+            t: 12.5,
+            seq: 7,
+            event: Event::TxnStart {
+                txn: 1,
+                chain: 2,
+                donor: 3,
+                requestor: 4,
+                payee: Some(5),
+                piece: 6,
+            },
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        if !crate::serde_backend_is_real() {
+            return; // stub serde has no tagged-enum support
+        }
+        assert!(s.contains("\"type\":\"txn_start\""), "{s}");
+        let back: TraceRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn kind_matches_serde_tag() {
+        if !crate::serde_backend_is_real() {
+            return;
+        }
+        let e = Event::CtrlDropped { from: 1, to: 2 };
+        let s = serde_json::to_string(&e).unwrap();
+        assert!(s.contains(&format!("\"type\":\"{}\"", e.kind())), "{s}");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let bogus = r#"{"t":0.0,"seq":0,"type":"peer_join","peer":1,"compliant":true,"x":1}"#;
+        assert!(serde_json::from_str::<TraceRecord>(bogus).is_err());
+    }
+}

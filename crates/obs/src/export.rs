@@ -1,0 +1,318 @@
+//! Trace serialization: JSONL, Chrome `trace_event` (Perfetto), and the
+//! JSONL self-check used by CI.
+//!
+//! JSONL is the ground-truth format — one [`TraceRecord`] per line, in
+//! ring order, with the typed enum as schema. The Chrome export maps
+//! the same records onto the `trace_event` vocabulary so a run opens
+//! directly in Perfetto or `chrome://tracing`:
+//!
+//! * transaction lifecycles become `"X"` (complete) events — one span
+//!   from `txn_start` to `txn_end` on the donor's track;
+//! * chains become `"b"`/`"e"` async spans keyed by chain id, so §II-B
+//!   lineage is visible as nested tracks;
+//! * everything else (protocol steps, faults, choke decisions,
+//!   membership) becomes `"i"` instant events carrying the full typed
+//!   record in `args`.
+//!
+//! Timestamps are simulated seconds scaled to microseconds (`ts` is µs
+//! in the trace_event spec), so one trace-second equals one sim-second.
+//! The Chrome document is assembled by hand rather than through a
+//! generic JSON value tree: the shapes are fixed and this keeps the
+//! crate's serde surface down to derive + `to_string`/`from_str`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{EndCause, Event, TraceRecord};
+
+/// Microseconds per simulated second in the Chrome export.
+const US_PER_S: f64 = 1_000_000.0;
+
+/// Serialize records as JSONL, one compact JSON object per line.
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        // Compact serde_json of a plain struct cannot fail.
+        if let Ok(line) = serde_json::to_string(rec) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse a JSONL trace and verify every line against the typed event
+/// schema (the [`Event`] enum with unknown fields rejected), plus the
+/// monotone-sequence invariant. Returns the number of valid records, or
+/// a message naming the first offending line.
+pub fn validate_jsonl(jsonl: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    let mut last_seq: Option<u64> = None;
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {}", i + 1, e))?;
+        if let Some(prev) = last_seq {
+            if rec.seq <= prev {
+                return Err(format!(
+                    "line {}: seq {} not increasing (prev {})",
+                    i + 1,
+                    rec.seq,
+                    prev
+                ));
+            }
+        }
+        last_seq = Some(rec.seq);
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn cause_name(c: EndCause) -> &'static str {
+    match c {
+        EndCause::NoPayee => "no_payee",
+        EndCause::Departure => "departure",
+        EndCause::Stalled => "stalled",
+        EndCause::Collusion => "collusion",
+        EndCause::Crash => "crash",
+    }
+}
+
+/// `args` payload for an instant: the record's typed serialization, or
+/// an empty object if serde declines (it cannot for these types).
+fn args_json(event: &Event) -> String {
+    serde_json::to_string(event).unwrap_or_else(|_| String::from("{}"))
+}
+
+/// Convert records to a Chrome `trace_event` JSON document.
+pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    // txn id -> start info awaiting its TxnEnd.
+    struct OpenTxn {
+        ts: f64,
+        donor: u32,
+        requestor: u32,
+        payee: Option<u32>,
+        piece: u32,
+    }
+    let mut open_txns: BTreeMap<u64, OpenTxn> = BTreeMap::new();
+
+    for rec in records {
+        let ts = rec.t * US_PER_S;
+        match rec.event {
+            Event::TxnStart {
+                txn,
+                donor,
+                requestor,
+                payee,
+                piece,
+                ..
+            } => {
+                open_txns.insert(
+                    txn,
+                    OpenTxn {
+                        ts,
+                        donor,
+                        requestor,
+                        payee,
+                        piece,
+                    },
+                );
+            }
+            Event::TxnEnd {
+                txn,
+                chain,
+                completed,
+                cause,
+            } => {
+                if let Some(open) = open_txns.remove(&txn) {
+                    let payee = match open.payee {
+                        Some(p) => p.to_string(),
+                        None => String::from("null"),
+                    };
+                    let mut e = String::new();
+                    let _ = write!(
+                        e,
+                        "{{\"name\":\"txn {txn}\",\"cat\":\"txn\",\"ph\":\"X\",\
+                         \"ts\":{ts},\"dur\":{dur},\"pid\":1,\"tid\":{tid},\
+                         \"args\":{{\"txn\":{txn},\"chain\":{chain},\
+                         \"donor\":{donor},\"requestor\":{requestor},\
+                         \"payee\":{payee},\"piece\":{piece},\
+                         \"completed\":{completed},\"cause\":\"{cause}\"}}}}",
+                        txn = txn,
+                        ts = open.ts,
+                        dur = (ts - open.ts).max(0.0),
+                        tid = open.donor,
+                        chain = chain,
+                        donor = open.donor,
+                        requestor = open.requestor,
+                        payee = payee,
+                        piece = open.piece,
+                        completed = completed,
+                        cause = cause_name(cause),
+                    );
+                    events.push(e);
+                } else {
+                    events.push(instant(rec, ts));
+                }
+            }
+            Event::ChainOpen { chain, seeder } => {
+                events.push(format!(
+                    "{{\"name\":\"chain {chain}\",\"cat\":\"chain\",\"ph\":\"b\",\
+                     \"id\":{chain},\"ts\":{ts},\"pid\":1,\"tid\":0,\
+                     \"args\":{{\"seeder\":{seeder}}}}}"
+                ));
+            }
+            Event::ChainClose {
+                chain,
+                length,
+                cause,
+            } => {
+                events.push(format!(
+                    "{{\"name\":\"chain {chain}\",\"cat\":\"chain\",\"ph\":\"e\",\
+                     \"id\":{chain},\"ts\":{ts},\"pid\":1,\"tid\":0,\
+                     \"args\":{{\"length\":{length},\"cause\":\"{cause}\"}}}}",
+                    cause = cause_name(cause),
+                ));
+            }
+            _ => events.push(instant(rec, ts)),
+        }
+    }
+
+    // Spans still open at trace end render as instants so nothing
+    // silently disappears from the timeline.
+    for (txn, open) in open_txns {
+        events.push(format!(
+            "{{\"name\":\"txn {txn} (open)\",\"cat\":\"txn\",\"ph\":\"i\",\
+             \"s\":\"g\",\"ts\":{ts},\"pid\":1,\"tid\":{tid}}}",
+            ts = open.ts,
+            tid = open.donor,
+        ));
+    }
+
+    let mut doc = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(e);
+    }
+    doc.push_str(
+        "],\"displayTimeUnit\":\"ms\",\
+         \"otherData\":{\"source\":\"tchain-obs\",\
+         \"unit\":\"1 trace us = 1 sim us\"}}",
+    );
+    doc
+}
+
+fn instant(rec: &TraceRecord, ts: f64) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\
+         \"ts\":{ts},\"pid\":1,\"tid\":0,\"args\":{args}}}",
+        name = rec.event.kind(),
+        args = args_json(&rec.event),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                t: 0.0,
+                seq: 0,
+                event: Event::ChainOpen {
+                    chain: 1,
+                    seeder: true,
+                },
+            },
+            TraceRecord {
+                t: 0.5,
+                seq: 1,
+                event: Event::TxnStart {
+                    txn: 9,
+                    chain: 1,
+                    donor: 0,
+                    requestor: 2,
+                    payee: Some(3),
+                    piece: 4,
+                },
+            },
+            TraceRecord {
+                t: 2.0,
+                seq: 2,
+                event: Event::TxnEnd {
+                    txn: 9,
+                    chain: 1,
+                    completed: true,
+                    cause: EndCause::Departure,
+                },
+            },
+            TraceRecord {
+                t: 2.5,
+                seq: 3,
+                event: Event::ChainClose {
+                    chain: 1,
+                    length: 1,
+                    cause: EndCause::Departure,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_validates() {
+        let jsonl = to_jsonl(&sample());
+        assert_eq!(jsonl.lines().count(), 4);
+        if !crate::serde_backend_is_real() {
+            return; // stub serde_json cannot deserialize
+        }
+        assert_eq!(validate_jsonl(&jsonl), Ok(4));
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_bad_order() {
+        assert!(validate_jsonl("{\"nope\":1}\n").is_err());
+        if !crate::serde_backend_is_real() {
+            return;
+        }
+        let mut recs = sample();
+        recs[2].seq = 0;
+        assert!(validate_jsonl(&to_jsonl(&recs)).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_builds_spans() {
+        let doc = to_chrome_trace(&sample());
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"X\""), "txn span missing: {doc}");
+        assert!(doc.contains("\"ph\":\"b\"") && doc.contains("\"ph\":\"e\""));
+        // Span runs 0.5 s → 2.0 s: ts 500000 µs, dur 1500000 µs.
+        assert!(doc.contains("\"ts\":500000"), "{doc}");
+        assert!(doc.contains("\"dur\":1500000"), "{doc}");
+        assert!(doc.contains("\"cause\":\"departure\""));
+    }
+
+    #[test]
+    fn open_spans_become_instants() {
+        let recs = vec![TraceRecord {
+            t: 1.0,
+            seq: 0,
+            event: Event::TxnStart {
+                txn: 7,
+                chain: 1,
+                donor: 0,
+                requestor: 1,
+                payee: None,
+                piece: 0,
+            },
+        }];
+        let doc = to_chrome_trace(&recs);
+        assert!(doc.contains("txn 7 (open)"));
+        assert!(doc.contains("\"ph\":\"i\""));
+    }
+}

@@ -1,0 +1,51 @@
+//! # tchain-obs — deterministic observability for the swarm simulator
+//!
+//! Three pieces, all zero-cost when switched off:
+//!
+//! * [`Tracer`] + [`Event`] — a typed event bus for transaction
+//!   lifecycle spans (request → encrypted upload → report → key →
+//!   decrypt, §II-B, including the retry/escrow/watchdog branches),
+//!   chain lineage, choke/unchoke decisions, and fault events. Events
+//!   land in a preallocated overwrite-oldest [`EventRing`] and export as
+//!   JSONL ([`to_jsonl`]) or Chrome `trace_event` JSON
+//!   ([`to_chrome_trace`]) loadable in Perfetto. The [`trace_event!`]
+//!   macro compiles to a branch on [`Tracer::is_enabled`], so disabled
+//!   tracing evaluates nothing and fault-free runs stay bit-identical.
+//! * [`PhaseProfiler`] + [`Phase`] — wall-clock and invocation-count
+//!   histograms over the named slices of the sim main loop (flow-solver
+//!   recompute, control-queue drain, rechoke, watchdog tick, …),
+//!   surfaced as a [`PhaseProfile`] on every run outcome. Wall time is
+//!   observed, never fed back, so profiling cannot perturb determinism.
+//! * [`StatsRegistry`] — one named-metric API unifying
+//!   `RecoveryCounters`, `ChainStats`, flow/fault statistics and the
+//!   graceful-degradation anomaly counters, snapshotted as a sorted
+//!   [`MetricMap`] into `results/*.json`.
+//!
+//! This crate is a leaf: events carry raw `u32`/`u64` ids so `sim`,
+//! `proto`, `core` and `baselines` can all depend on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod export;
+mod profile;
+mod registry;
+mod ring;
+mod tracer;
+
+pub use event::{EndCause, Event, RetryMsg, TraceRecord};
+pub use export::{to_chrome_trace, to_jsonl, validate_jsonl};
+pub use profile::{Phase, PhaseProfile, PhaseProfiler, PhaseSummary, HIST_BUCKETS};
+pub use registry::{ExportStats, MetricMap, StatsRegistry};
+pub use ring::EventRing;
+pub use tracer::Tracer;
+
+/// `true` when the real `serde_json` backend is present. The offline
+/// verification harness substitutes a serialization-only stub whose
+/// `from_str` always errors; deserialization-dependent tests skip
+/// themselves under it and run fully in CI.
+#[cfg(test)]
+pub(crate) fn serde_backend_is_real() -> bool {
+    serde_json::from_str::<u64>("1").is_ok()
+}

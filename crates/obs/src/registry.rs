@@ -1,0 +1,98 @@
+//! The unified stats registry: named `u64` counters behind one API.
+//!
+//! Subsystems (`RecoveryCounters`, `ChainStats`, flow/fault statistics,
+//! graceful-degradation anomaly counts) export into a single
+//! [`StatsRegistry`]; a [`MetricMap`] snapshot serializes in
+//! deterministic (sorted) order into `results/*.json`.
+
+use std::collections::BTreeMap;
+
+/// Deterministically ordered snapshot of every registered metric.
+pub type MetricMap = BTreeMap<String, u64>;
+
+/// A flat registry of named monotone counters and gauges.
+#[derive(Debug, Clone, Default)]
+pub struct StatsRegistry {
+    metrics: BTreeMap<String, u64>,
+}
+
+impl StatsRegistry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter, creating it at zero first.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.metrics.get_mut(name) {
+            *v = v.saturating_add(delta);
+        } else {
+            self.metrics.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Increment the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Overwrite the named gauge with `value`.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.metrics.insert(name.to_string(), value);
+    }
+
+    /// Current value of a metric, or zero if never touched.
+    pub fn get(&self, name: &str) -> u64 {
+        self.metrics.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct metrics registered.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Snapshot every metric in sorted-name order.
+    pub fn snapshot(&self) -> MetricMap {
+        self.metrics.clone()
+    }
+}
+
+/// Implemented by subsystem stat blocks that can dump themselves into
+/// the registry under a naming prefix.
+pub trait ExportStats {
+    /// Write this block's counters into `reg`, prefixing names with
+    /// `prefix` (e.g. `flow.completed`).
+    fn export_stats(&self, prefix: &str, reg: &mut StatsRegistry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = StatsRegistry::new();
+        r.incr("a");
+        r.add("a", 4);
+        r.set("g", 9);
+        r.set("g", 2);
+        assert_eq!(r.get("a"), 5);
+        assert_eq!(r.get("g"), 2);
+        assert_eq!(r.get("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let mut r = StatsRegistry::new();
+        r.incr("zeta");
+        r.incr("alpha");
+        let snap = r.snapshot();
+        let keys: Vec<&str> = snap.keys().map(|s| s.as_str()).collect();
+        assert_eq!(keys, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Preallocated overwrite-oldest ring buffer for [`TraceRecord`]s.
+//!
+//! The ring never allocates after construction: when full it overwrites
+//! the oldest record and counts the loss, so a long run with a small
+//! buffer degrades to "most recent N events" instead of unbounded memory
+//! growth. Sequence numbers are assigned by the tracer, so gaps in an
+//! exported stream reveal exactly how much was dropped.
+
+use crate::event::TraceRecord;
+
+/// Fixed-capacity ring of trace records.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceRecord>,
+    head: usize,
+    len: usize,
+    peak: usize,
+    overwritten: u64,
+}
+
+impl EventRing {
+    /// Create a ring holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity.max(1)),
+            head: 0,
+            len: 0,
+            peak: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Append a record, overwriting the oldest when full.
+    pub fn push(&mut self, rec: TraceRecord) {
+        let cap = self.buf.capacity();
+        if self.buf.len() < cap {
+            self.buf.push(rec);
+            self.len += 1;
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % cap;
+            self.overwritten += 1;
+        }
+        self.peak = self.peak.max(self.len);
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// High-water mark of buffered records over the ring's lifetime.
+    pub fn peak_depth(&self) -> usize {
+        self.peak
+    }
+
+    /// Records lost to overwriting since construction.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Iterate records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let (tail, init) = self.buf.split_at(self.head.min(self.buf.len()));
+        init.iter().chain(tail.iter())
+    }
+
+    /// Drop all buffered records (capacity and counters are retained).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord {
+            t: seq as f64,
+            seq,
+            event: Event::PeerCrash { peer: seq as u32 },
+        }
+    }
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = EventRing::new(4);
+        for s in 0..3 {
+            r.push(rec(s));
+        }
+        let seqs: Vec<u64> = r.iter().map(|x| x.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(r.peak_depth(), 3);
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut r = EventRing::new(3);
+        for s in 0..5 {
+            r.push(rec(s));
+        }
+        let seqs: Vec<u64> = r.iter().map(|x| x.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.peak_depth(), 3);
+        assert_eq!(r.overwritten(), 2);
+    }
+
+    #[test]
+    fn clear_retains_counters() {
+        let mut r = EventRing::new(2);
+        r.push(rec(0));
+        r.push(rec(1));
+        r.push(rec(2));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.peak_depth(), 2);
+        assert_eq!(r.overwritten(), 1);
+        r.push(rec(3));
+        assert_eq!(r.iter().map(|x| x.seq).collect::<Vec<_>>(), vec![3]);
+    }
+}

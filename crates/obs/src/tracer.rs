@@ -1,0 +1,140 @@
+//! The tracer: an on/off switch in front of an [`EventRing`].
+//!
+//! Disabled is the default and costs one branch per instrumentation
+//! site: the [`trace_event!`] macro tests [`Tracer::is_enabled`] before
+//! it even constructs the event, so argument expressions are never
+//! evaluated on the cold path and fault-free runs stay bit-identical.
+
+use crate::event::{Event, TraceRecord};
+use crate::ring::EventRing;
+
+/// Records [`Event`]s into a preallocated ring when enabled.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    ring: Option<EventRing>,
+    next_seq: u64,
+}
+
+impl Tracer {
+    /// A tracer that drops everything (the default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A tracer buffering up to `capacity` records, oldest-overwritten.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ring: Some(EventRing::new(capacity)),
+            next_seq: 0,
+        }
+    }
+
+    /// `true` when events are being recorded. Instrumentation sites must
+    /// branch on this before building an event (the macro does).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Record one event at simulated time `t`.
+    #[inline]
+    pub fn record(&mut self, t: f64, event: Event) {
+        if let Some(ring) = self.ring.as_mut() {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            ring.push(TraceRecord { t, seq, event });
+        }
+    }
+
+    /// Buffered records, oldest-first. Empty when disabled.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        match &self.ring {
+            Some(ring) => ring.iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total events emitted while enabled (recorded + overwritten).
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// High-water mark of the ring, zero when disabled.
+    pub fn peak_depth(&self) -> usize {
+        self.ring.as_ref().map_or(0, |r| r.peak_depth())
+    }
+
+    /// Records lost to ring overwrite, zero when disabled.
+    pub fn overwritten(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.overwritten())
+    }
+
+    /// Serialize the buffered records as JSONL (one record per line).
+    pub fn to_jsonl(&self) -> String {
+        crate::export::to_jsonl(&self.records())
+    }
+
+    /// Serialize the buffered records as a Chrome `trace_event` JSON
+    /// document loadable in Perfetto / `chrome://tracing`.
+    pub fn to_chrome_trace(&self) -> String {
+        crate::export::to_chrome_trace(&self.records())
+    }
+}
+
+/// Record an event iff the tracer is enabled.
+///
+/// Expands to a branch on [`Tracer::is_enabled`]; the event expression
+/// (and therefore every argument) is only evaluated on the hot path.
+///
+/// ```
+/// use tchain_obs::{trace_event, Event, Tracer};
+/// let mut tr = Tracer::with_capacity(8);
+/// trace_event!(tr, 1.0, Event::PeerDepart { peer: 3 });
+/// assert_eq!(tr.records().len(), 1);
+/// ```
+#[macro_export]
+macro_rules! trace_event {
+    ($tracer:expr, $t:expr, $event:expr) => {
+        if $tracer.is_enabled() {
+            $tracer.record($t, $event);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = Tracer::disabled();
+        assert!(!tr.is_enabled());
+        tr.record(0.0, Event::PeerDepart { peer: 1 });
+        assert!(tr.records().is_empty());
+        assert_eq!(tr.peak_depth(), 0);
+    }
+
+    #[test]
+    fn macro_skips_argument_evaluation_when_disabled() {
+        let mut tr = Tracer::disabled();
+        let mut evaluated = false;
+        let mut peer = || {
+            evaluated = true;
+            1u32
+        };
+        trace_event!(tr, 0.0, Event::PeerDepart { peer: peer() });
+        assert!(!evaluated);
+    }
+
+    #[test]
+    fn sequence_numbers_survive_overwrite() {
+        let mut tr = Tracer::with_capacity(2);
+        for i in 0..4 {
+            tr.record(i as f64, Event::PeerDepart { peer: i });
+        }
+        let seqs: Vec<u64> = tr.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3]);
+        assert_eq!(tr.emitted(), 4);
+        assert_eq!(tr.overwritten(), 2);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::control::{Envelope, SendOutcome};
 use crate::{Bitfield, FileSpec, Mesh, NeighborPolicy, PeerTable, PieceId, Role, Tracker};
+use tchain_obs::{trace_event, Event, Tracer};
 use tchain_sim::{Clock, DelayQueue, FaultPlan, FaultState, Flow, FlowScheduler, NodeId, Route, SimRng};
 
 /// Static configuration for one simulation run.
@@ -63,6 +64,8 @@ pub struct SwarmBase {
     /// Delayed control messages awaiting delivery (empty on the
     /// fault-free path).
     pub ctrl: DelayQueue<Envelope>,
+    /// Structured event tracer (disabled by default; see `tchain-obs`).
+    pub trace: Tracer,
 }
 
 impl SwarmBase {
@@ -85,7 +88,14 @@ impl SwarmBase {
             rng: SimRng::new(seed),
             faults: FaultState::new(plan),
             ctrl: DelayQueue::new(),
+            trace: Tracer::disabled(),
         }
+    }
+
+    /// Switches on structured event tracing with the given ring capacity.
+    /// Tracing only observes the run; enabling it never changes outcomes.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Tracer::with_capacity(capacity);
     }
 
     /// Routes a control message through the fault layer. Returns
@@ -93,13 +103,26 @@ impl SwarmBase {
     /// handled synchronously (always the case without faults), otherwise
     /// parks or drops it.
     pub fn send_control(&mut self, env: Envelope) -> SendOutcome {
-        match self.faults.route(env.from, env.to, self.clock.now()) {
+        let now = self.clock.now();
+        match self.faults.route(env.from, env.to, now) {
             Route::Now => SendOutcome::Delivered(env),
             Route::At(t) => {
+                trace_event!(
+                    self.trace,
+                    now,
+                    Event::CtrlDelayed { from: env.from.0, to: env.to.0, until: t }
+                );
                 self.ctrl.push(t, env);
                 SendOutcome::Scheduled(t)
             }
-            Route::Dropped => SendOutcome::Dropped,
+            Route::Dropped => {
+                trace_event!(
+                    self.trace,
+                    now,
+                    Event::CtrlDropped { from: env.from.0, to: env.to.0 }
+                );
+                SendOutcome::Dropped
+            }
         }
     }
 
@@ -138,6 +161,7 @@ impl SwarmBase {
         self.flows.set_capacity(id, capacity);
         self.tracker.register(id);
         self.acquire_neighbors(id, self.cfg.policy.max_neighbors);
+        trace_event!(self.trace, now, Event::PeerJoin { peer: id.0, compliant });
         id
     }
 
@@ -186,11 +210,13 @@ impl SwarmBase {
     /// payee per §II-B4).
     pub fn depart(&mut self, id: NodeId) -> (Vec<Flow>, Vec<Flow>) {
         debug_assert!(self.peers.alive(id), "departing peer must be alive");
-        self.peers.get_mut(id).left_time = Some(self.clock.now());
+        let now = self.clock.now();
+        self.peers.get_mut(id).left_time = Some(now);
         self.tracker.unregister(id);
         self.mesh.remove(id, &self.peers);
         let out = self.flows.cancel_all_from(id);
         let inb = self.flows.cancel_all_to(id);
+        trace_event!(self.trace, now, Event::PeerDepart { peer: id.0 });
         (out, inb)
     }
 

@@ -75,12 +75,16 @@ impl Mesh {
         if !self.are_neighbors(a, b) {
             return false;
         }
+        // are_neighbors() guarantees both entries exist, but a corrupted
+        // adjacency list should degrade to a no-op rather than a panic.
         let list = &mut self.neighbors[a.index()];
-        let p = list.iter().position(|&x| x == b).expect("checked");
-        list.swap_remove(p);
+        if let Some(p) = list.iter().position(|&x| x == b) {
+            list.swap_remove(p);
+        }
         let list = &mut self.neighbors[b.index()];
-        let p = list.iter().position(|&x| x == a).expect("symmetric");
-        list.swap_remove(p);
+        if let Some(p) = list.iter().position(|&x| x == a) {
+            list.swap_remove(p);
+        }
         for p in peers.get(b).have.iter_set() {
             self.avail[a.index()][p.index()] -= 1;
         }

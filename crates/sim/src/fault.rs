@@ -187,6 +187,16 @@ pub struct FaultStats {
     pub tracker_dropped: u64,
 }
 
+impl tchain_obs::ExportStats for FaultStats {
+    fn export_stats(&self, prefix: &str, reg: &mut tchain_obs::StatsRegistry) {
+        reg.add(&format!("{prefix}ctrl_sent"), self.sent);
+        reg.add(&format!("{prefix}ctrl_dropped"), self.dropped);
+        reg.add(&format!("{prefix}partition_dropped"), self.partition_dropped);
+        reg.add(&format!("{prefix}ctrl_delayed"), self.delayed);
+        reg.add(&format!("{prefix}tracker_dropped"), self.tracker_dropped);
+    }
+}
+
 /// Runtime state of a [`FaultPlan`]: its private RNG stream, the crash
 /// schedule cursor and delivery counters.
 #[derive(Debug, Clone)]

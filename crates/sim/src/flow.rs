@@ -50,6 +50,33 @@ impl Flow {
 /// Bytes below which a flow counts as finished (guards float round-off).
 const COMPLETE_EPS: f64 = 1e-6;
 
+/// Lifetime counters for the scheduler, exported into the stats
+/// registry as `flow.*`.
+///
+/// `anomalies` counts index entries that pointed at a dead or recycled
+/// slot — a state that previously panicked via `expect()` and is now
+/// skipped and tallied instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Flows started.
+    pub started: u64,
+    /// Flows that ran to completion.
+    pub completed: u64,
+    /// Flows cancelled (departures, crashes, protocol aborts).
+    pub cancelled: u64,
+    /// Dangling index entries skipped during `advance`.
+    pub anomalies: u64,
+}
+
+impl tchain_obs::ExportStats for FlowStats {
+    fn export_stats(&self, prefix: &str, reg: &mut tchain_obs::StatsRegistry) {
+        reg.add(&format!("{prefix}started"), self.started);
+        reg.add(&format!("{prefix}completed"), self.completed);
+        reg.add(&format!("{prefix}cancelled"), self.cancelled);
+        reg.add(&format!("{prefix}anomalies"), self.anomalies);
+    }
+}
+
 /// The bandwidth model: tracks active flows, per-node upload capacity, and
 /// cumulative per-node traffic counters.
 ///
@@ -65,6 +92,7 @@ pub struct FlowScheduler {
     uploaded: Vec<f64>,
     downloaded: Vec<f64>,
     active: usize,
+    stats: FlowStats,
     // Scratch buffer reused across `advance` calls.
     scratch: Vec<(u32, f64, f64)>,
 }
@@ -133,7 +161,13 @@ impl FlowScheduler {
         self.by_src[src.index()].push(id);
         self.by_dst[dst.index()].push(id);
         self.active += 1;
+        self.stats.started += 1;
         id
+    }
+
+    /// Lifetime scheduler counters.
+    pub fn stats(&self) -> FlowStats {
+        self.stats
     }
 
     /// Looks up a live flow.
@@ -184,6 +218,7 @@ impl FlowScheduler {
     pub fn cancel(&mut self, id: FlowId) -> Option<Flow> {
         let f = self.release(id)?;
         self.detach(&f);
+        self.stats.cancelled += 1;
         Some(f)
     }
 
@@ -200,6 +235,7 @@ impl FlowScheduler {
                 if let Some(p) = list.iter().position(|x| *x == id) {
                     list.swap_remove(p);
                 }
+                self.stats.cancelled += 1;
                 Some(f)
             })
             .collect()
@@ -218,6 +254,7 @@ impl FlowScheduler {
                 if let Some(p) = list.iter().position(|x| *x == id) {
                     list.swap_remove(p);
                 }
+                self.stats.cancelled += 1;
                 Some(f)
             })
             .collect()
@@ -259,13 +296,26 @@ impl FlowScheduler {
             // each finishing flow returns its unused share to the pool.
             self.scratch.clear();
             let mut total_weight = 0.0;
+            let mut stale = false;
             for &id in &self.by_src[src] {
-                let f = self.slots[id.slot as usize].as_ref().expect("by_src flow live");
-                self.scratch.push((id.slot, f.remaining(), f.weight));
-                total_weight += f.weight;
+                // A dangling index entry would previously panic; count it
+                // and reconcile the index after the sweep instead.
+                match self.slots.get(id.slot as usize) {
+                    Some(Some(f)) if f.id == id => {
+                        self.scratch.push((id.slot, f.remaining(), f.weight));
+                        total_weight += f.weight;
+                    }
+                    _ => {
+                        self.stats.anomalies += 1;
+                        stale = true;
+                    }
+                }
             }
-            self.scratch
-                .sort_by(|a, b| (a.1 / a.2).partial_cmp(&(b.1 / b.2)).expect("finite ratios"));
+            if stale {
+                self.by_src[src]
+                    .retain(|id| matches!(self.slots.get(id.slot as usize), Some(Some(f)) if f.id == *id));
+            }
+            self.scratch.sort_by(|a, b| (a.1 / a.2).total_cmp(&(b.1 / b.2)));
             let mut scratch = std::mem::take(&mut self.scratch);
             for &(slot, remaining, weight) in scratch.iter() {
                 let share = budget * weight / total_weight;
@@ -275,16 +325,24 @@ impl FlowScheduler {
                     total_weight -= weight;
                 }
                 if sent > 0.0 {
-                    let f = self.slots[slot as usize].as_mut().expect("flow live");
+                    let Some(Some(f)) = self.slots.get_mut(slot as usize) else {
+                        self.stats.anomalies += 1;
+                        continue;
+                    };
                     f.done += sent;
                     let (fsrc, fdst) = (f.src, f.dst);
                     self.uploaded[fsrc.index()] += sent;
                     self.downloaded[fdst.index()] += sent;
                     if f.remaining() <= COMPLETE_EPS {
                         let id = f.id;
-                        let f = self.release(id).expect("completing flow is live");
-                        self.detach(&f);
-                        completed.push(f);
+                        match self.release(id) {
+                            Some(f) => {
+                                self.detach(&f);
+                                self.stats.completed += 1;
+                                completed.push(f);
+                            }
+                            None => self.stats.anomalies += 1,
+                        }
                     }
                 }
             }
@@ -432,6 +490,29 @@ mod tests {
         let recv: f64 = (1..=5u32).map(|i| fs.downloaded(n(i))).sum();
         assert!((recv - fs.uploaded(n(0))).abs() < 1e-6);
         assert_eq!(done.len(), 5);
+    }
+
+    #[test]
+    fn stats_count_lifecycle() {
+        let mut fs = FlowScheduler::new();
+        fs.set_capacity(n(0), 100.0);
+        let a = fs.start(n(0), n(1), 10.0, 1.0, 0);
+        fs.start(n(0), n(2), 1000.0, 1.0, 0);
+        let mut done = Vec::new();
+        fs.advance(1.0, &mut done);
+        assert!(fs.get(a).is_none());
+        fs.cancel_all_from(n(0));
+        let s = fs.stats();
+        assert_eq!(s.started, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.anomalies, 0);
+
+        let mut reg = tchain_obs::StatsRegistry::new();
+        use tchain_obs::ExportStats;
+        s.export_stats("flow.", &mut reg);
+        assert_eq!(reg.get("flow.started"), 2);
+        assert_eq!(reg.get("flow.completed"), 1);
     }
 
     #[test]

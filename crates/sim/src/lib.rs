@@ -47,7 +47,7 @@ mod units;
 
 pub use clock::{Clock, Periodic};
 pub use fault::{CrashSpec, FaultPlan, FaultState, FaultStats, LatencyModel, Partition, Route};
-pub use flow::{Flow, FlowId, FlowScheduler};
+pub use flow::{Flow, FlowId, FlowScheduler, FlowStats};
 pub use queue::DelayQueue;
 pub use rng::SimRng;
 pub use units::{kbps, kib, mib, BYTES_PER_KIB, BYTES_PER_MIB};

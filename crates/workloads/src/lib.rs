@@ -27,7 +27,7 @@ pub fn flash_crowd(n: usize, window: f64, seed: u64) -> Vec<f64> {
     assert!(window >= 0.0, "window must be non-negative");
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xF1A5_4C12_0000_0000);
     let mut t: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * window).collect();
-    t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    t.sort_by(f64::total_cmp);
     t
 }
 
