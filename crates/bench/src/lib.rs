@@ -77,6 +77,65 @@ pub fn write_obs_summary() -> std::io::Result<std::path::PathBuf> {
     Ok(p)
 }
 
+/// Measures the deterministic parallel experiment runner: the same cell
+/// list swept with 1 worker and with the machine's parallelism, plus a
+/// cross-check that both sweeps produced deterministically equal
+/// outcomes. Returns the machine-readable `BENCH_runner.json` payload
+/// (hand-formatted, no serde).
+pub fn runner_summary_json() -> String {
+    use tchain_experiments::{set_jobs, sweep, take_failures};
+    let mut cells = Vec::new();
+    for proto in [Proto::TChain, Proto::Baseline(tchain_baselines::Baseline::BitTorrent)] {
+        for seed in 0xBE00u64..0xBE04 {
+            cells.push((proto, seed));
+        }
+    }
+    let run = |jobs: usize| {
+        set_jobs(jobs);
+        let t = std::time::Instant::now();
+        let outs = sweep(
+            "bench-runner",
+            &cells,
+            |c| (format!("{} seed={:#x}", c.0.name(), c.1), c.1),
+            |c| {
+                let plan = tiny_plan(12, 0.25, c.1);
+                run_proto(c.0, 1.0, plan, c.1, Horizon::CompliantDone, RunOpts::default())
+            },
+        )
+        .into_ok();
+        let secs = t.elapsed().as_secs_f64();
+        set_jobs(0);
+        (outs, secs)
+    };
+    let (seq, sequential_s) = run(1);
+    let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+    let (par, parallel_s) = run(jobs);
+    take_failures();
+    let identical = seq.len() == par.len()
+        && seq.len() == cells.len()
+        && seq.iter().zip(&par).all(|(a, b)| a.deterministic_eq(b));
+    format!(
+        "{{\"cells\":{},\"jobs_sequential\":1,\"jobs_parallel\":{},\"sequential_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.3},\"outcomes_identical\":{}}}\n",
+        cells.len(),
+        jobs,
+        sequential_s,
+        parallel_s,
+        sequential_s / parallel_s.max(1e-9),
+        identical,
+    )
+}
+
+/// Writes [`runner_summary_json`] to `BENCH_runner.json` in the
+/// workspace root (next to `BENCH_obs.json`).
+pub fn write_runner_summary() -> std::io::Result<std::path::PathBuf> {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("BENCH_runner.json");
+    std::fs::write(&p, runner_summary_json())?;
+    Ok(p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +147,19 @@ mod tests {
             bench_run(Proto::Baseline(tchain_baselines::Baseline::BitTorrent), 8, 0.0, 1),
             8
         );
+    }
+
+    #[test]
+    fn runner_summary_populates_bench_trajectory() {
+        let json = runner_summary_json();
+        assert!(json.contains("\"jobs_parallel\""));
+        assert!(json.contains("\"speedup\""));
+        // The sequential and parallel sweeps must agree cell-for-cell —
+        // the determinism claim the bench exists to keep honest.
+        assert!(json.contains("\"outcomes_identical\":true"), "sweeps diverged: {json}");
+        // Refresh the committed trajectory whenever the suite runs.
+        let path = write_runner_summary().expect("write BENCH_runner.json");
+        assert!(path.ends_with("BENCH_runner.json"));
     }
 
     #[test]

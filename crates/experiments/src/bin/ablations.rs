@@ -1,5 +1,6 @@
 //! Runs the T-Chain design-choice ablations. `TCHAIN_SCALE=quick|paper`.
 fn main() {
+    tchain_experiments::parse_jobs_args();
     let scale = tchain_experiments::Scale::from_env();
     println!("[ablations | scale: {}]", scale.name());
     tchain_experiments::figures::ablations::run(scale);

@@ -1,7 +1,18 @@
 //! Runs the entire experiment suite in figure order.
+//!
+//! Each figure expands into a flat list of `(scenario, seed)` cells and
+//! runs them on the deterministic parallel runner; `--jobs N` (or
+//! `TCHAIN_JOBS`) sets the worker count, defaulting to the machine's
+//! available parallelism. Results are byte-identical for any worker
+//! count. Cells that panic are skipped and summarized at the end.
 fn main() {
+    tchain_experiments::parse_jobs_args();
     let scale = tchain_experiments::Scale::from_env();
-    println!("[all experiments | scale: {}]", scale.name());
+    println!(
+        "[all experiments | scale: {} | jobs: {}]",
+        scale.name(),
+        tchain_experiments::effective_jobs()
+    );
     use tchain_experiments::figures as f;
     f::fig03::run(scale);
     f::fig04::run(scale);
@@ -21,4 +32,14 @@ fn main() {
     f::analysis_sec3::run(scale);
     f::loss_sweep::run(scale);
     f::trace::run(scale);
+    let failures = tchain_experiments::take_failures();
+    if failures.is_empty() {
+        println!("\nall experiments completed; no failed cells");
+    } else {
+        eprintln!("\n{} cell(s) panicked and were skipped:", failures.len());
+        for f in &failures {
+            eprintln!("  [{}] {} (seed {:#x}): {}", f.figure, f.scenario, f.seed, f.panic);
+        }
+        std::process::exit(1);
+    }
 }

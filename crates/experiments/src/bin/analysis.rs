@@ -1,5 +1,6 @@
 //! Regenerates the §III analytical tables. `TCHAIN_SCALE=quick|paper`.
 fn main() {
+    tchain_experiments::parse_jobs_args();
     let scale = tchain_experiments::Scale::from_env();
     println!("[analysis | scale: {}]", scale.name());
     tchain_experiments::figures::analysis_sec3::run(scale);

@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig04 data. `TCHAIN_SCALE=quick|paper`.
 fn main() {
+    tchain_experiments::parse_jobs_args();
     let scale = tchain_experiments::Scale::from_env();
     println!("[fig04 | scale: {}]", scale.name());
     tchain_experiments::figures::fig04::run(scale);

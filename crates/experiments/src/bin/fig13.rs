@@ -1,5 +1,6 @@
 //! Regenerates the paper's fig13 data. `TCHAIN_SCALE=quick|paper`.
 fn main() {
+    tchain_experiments::parse_jobs_args();
     let scale = tchain_experiments::Scale::from_env();
     println!("[fig13 | scale: {}]", scale.name());
     tchain_experiments::figures::fig13::run(scale);

@@ -1,5 +1,6 @@
 //! Control-plane loss sweep (robustness). `TCHAIN_SCALE=quick|paper`.
 fn main() {
+    tchain_experiments::parse_jobs_args();
     let scale = tchain_experiments::Scale::from_env();
     println!("[loss_sweep | scale: {}]", scale.name());
     tchain_experiments::figures::loss_sweep::run(scale);

@@ -1,5 +1,6 @@
 //! Runs the §VI streaming extension comparison. `TCHAIN_SCALE=quick|paper`.
 fn main() {
+    tchain_experiments::parse_jobs_args();
     let scale = tchain_experiments::Scale::from_env();
     println!("[streaming | scale: {}]", scale.name());
     tchain_experiments::figures::streaming::run(scale);

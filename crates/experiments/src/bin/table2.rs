@@ -1,5 +1,6 @@
 //! Regenerates Table II. `TCHAIN_SCALE=quick|paper`.
 fn main() {
+    tchain_experiments::parse_jobs_args();
     let scale = tchain_experiments::Scale::from_env();
     println!("[table2 | scale: {}]", scale.name());
     tchain_experiments::figures::table2::run(scale);

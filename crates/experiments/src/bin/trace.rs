@@ -6,6 +6,7 @@
 //! - `trace check <file.jsonl>` — validate a previously written event
 //!   log against the schema; exits nonzero on the first bad line.
 fn main() {
+    tchain_experiments::parse_jobs_args();
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("check") {
         let Some(path) = args.get(2) else {

@@ -2,6 +2,7 @@
 //! free-riders, all four protocols plus the fluid optimum.
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -21,6 +22,13 @@ pub struct Point {
     pub utilization: Summary,
 }
 
+/// One runner cell: a single `(protocol, swarm size, repeat)` simulation.
+struct Cell {
+    proto: Proto,
+    n: usize,
+    seed: u64,
+}
+
 /// Runs Fig. 3 and returns its points (also printed and saved).
 pub fn run(scale: Scale) -> Vec<Point> {
     let mut points = Vec::new();
@@ -28,26 +36,38 @@ pub fn run(scale: Scale) -> Vec<Point> {
     let optimal =
         Proto::TChain.file_spec(scale.file_mib()).file_size()
             / CapacityClasses::default().mean_bytes_per_sec();
+    let mut cells = Vec::new();
+    for proto in Proto::main_four() {
+        for &n in &scale.swarm_sizes() {
+            for r in 0..scale.runs() {
+                cells.push(Cell { proto, n, seed: (n as u64) << 8 | r as u64 });
+            }
+        }
+    }
+    let file_mib = scale.file_mib();
+    let sw = sweep(
+        "fig03",
+        &cells,
+        |c| (format!("{} n={}", c.proto.name(), c.n), c.seed),
+        |c| {
+            let plan = flash_plan(c.n, 0.0, RiderMode::Aggressive, c.seed);
+            run_proto(c.proto, file_mib, plan, c.seed, Horizon::CompliantDone, RunOpts::default())
+        },
+    );
+    meta.note_failures(&sw.failures);
+    let mut outs = sw.cells.into_iter();
     for proto in Proto::main_four() {
         for &n in &scale.swarm_sizes() {
             let mut times = Vec::new();
             let mut utils = Vec::new();
-            for r in 0..scale.runs() {
-                let seed = (n as u64) << 8 | r as u64;
-                let plan = flash_plan(n, 0.0, RiderMode::Aggressive, seed);
-                let out = run_proto(
-                    proto,
-                    scale.file_mib(),
-                    plan,
-                    seed,
-                    Horizon::CompliantDone,
-                    RunOpts::default(),
-                );
-                meta.absorb(&out);
-                if let Some(m) = out.mean_compliant() {
-                    times.push(m);
+            for _ in 0..scale.runs() {
+                if let Some(out) = outs.next().flatten() {
+                    meta.absorb(&out);
+                    if let Some(m) = out.mean_compliant() {
+                        times.push(m);
+                    }
+                    utils.push(out.uplink_utilization);
                 }
-                utils.push(out.uplink_utilization);
             }
             points.push(Point {
                 proto: proto.name().to_string(),

@@ -2,6 +2,7 @@
 //! the slowest (400 Kbps) and fastest (1200 Kbps) leechers.
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -23,38 +24,54 @@ pub struct Timeline {
 /// Runs Fig. 5 for the two capacity extremes.
 pub fn run(scale: Scale) -> Vec<Timeline> {
     let seed = 55;
-    let plan = flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed);
-    // NodeIds are assigned in arrival order (seeder is 0); pick the first
-    // leecher of each extreme capacity.
-    let slow = plan.iter().position(|p| (p.capacity - kbps(400.0)).abs() < 1.0);
-    let fast = plan.iter().position(|p| (p.capacity - kbps(1200.0)).abs() < 1.0);
-    let spec = Proto::TChain.file_spec(scale.file_mib());
-    let mut sw = TChainSwarm::new(SwarmConfig::paper(spec), TChainConfig::default(), plan, seed);
-    let mut targets = Vec::new();
-    for (idx, cap) in [(slow, 400.0), (fast, 1200.0)] {
-        if let Some(i) = idx {
-            let id = NodeId(i as u32 + 1);
-            sw.telemetry_mut().watch(id);
-            targets.push((id, cap));
-        }
-    }
-    let wall = std::time::Instant::now();
-    sw.run_until_done();
     let mut meta = RunMeta::default();
-    meta.note_run(wall.elapsed().as_secs_f64());
-    let mut out = Vec::new();
-    for (id, cap) in targets {
-        // A watched id with no samples (e.g. the peer never exchanged a
-        // piece) just drops out of the figure.
-        let Some(tl) = sw.telemetry().timeline(id) else {
-            continue;
-        };
-        out.push(Timeline {
-            capacity_kbps: cap,
-            encrypted: tl.encrypted.downsample(24).iter().collect(),
-            decrypted: tl.decrypted.downsample(24).iter().collect(),
-        });
-    }
+    let mut cell = sweep(
+        "fig05",
+        &[()],
+        |_| ("T-Chain piece timelines".to_string(), seed),
+        |_| {
+            let plan = flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed);
+            // NodeIds are assigned in arrival order (seeder is 0); pick the
+            // first leecher of each extreme capacity.
+            let slow = plan.iter().position(|p| (p.capacity - kbps(400.0)).abs() < 1.0);
+            let fast = plan.iter().position(|p| (p.capacity - kbps(1200.0)).abs() < 1.0);
+            let spec = Proto::TChain.file_spec(scale.file_mib());
+            let mut sw =
+                TChainSwarm::new(SwarmConfig::paper(spec), TChainConfig::default(), plan, seed);
+            let mut targets = Vec::new();
+            for (idx, cap) in [(slow, 400.0), (fast, 1200.0)] {
+                if let Some(i) = idx {
+                    let id = NodeId(i as u32 + 1);
+                    sw.telemetry_mut().watch(id);
+                    targets.push((id, cap));
+                }
+            }
+            let wall = std::time::Instant::now();
+            sw.run_until_done();
+            let mut out = Vec::new();
+            for (id, cap) in targets {
+                // A watched id with no samples (e.g. the peer never exchanged
+                // a piece) just drops out of the figure.
+                let Some(tl) = sw.telemetry().timeline(id) else {
+                    continue;
+                };
+                out.push(Timeline {
+                    capacity_kbps: cap,
+                    encrypted: tl.encrypted.downsample(24).iter().collect(),
+                    decrypted: tl.decrypted.downsample(24).iter().collect(),
+                });
+            }
+            (out, wall.elapsed().as_secs_f64())
+        },
+    );
+    meta.note_failures(&cell.failures);
+    let out = match cell.cells.pop().flatten() {
+        Some((out, wall)) => {
+            meta.note_run(wall);
+            out
+        }
+        None => Vec::new(),
+    };
     for t in &out {
         let rows: Vec<Vec<String>> = t
             .encrypted

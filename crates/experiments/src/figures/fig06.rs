@@ -4,6 +4,7 @@
 //! initial pieces on T-Chain completion time.
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -30,70 +31,104 @@ pub fn run(scale: Scale) -> Data {
     let seed = 66;
     let n = scale.standard_swarm();
     let spec = Proto::Baseline(Baseline::BitTorrent).file_spec(scale.file_mib());
-    let mut sw = BaselineSwarm::new(
-        SwarmConfig::paper(spec),
-        BaselineConfig::default(),
-        Baseline::BitTorrent,
-        trace_plan(n, 0.0, RiderMode::Aggressive, seed),
-        seed,
-    );
     let mut meta = RunMeta::default();
-    let wall = std::time::Instant::now();
-    let mut sampler = SimRng::new(seed ^ 0xD1FF);
-    let mut piece_differences = Vec::new();
-    let horizon = match scale {
-        Scale::Quick => 1200.0,
-        Scale::Paper => 6000.0,
-    };
-    let step = horizon / 24.0;
-    let mut t = step;
-    while t <= horizon {
-        sw.run_to(t);
-        let alive: Vec<_> = sw
-            .base()
-            .peers
-            .iter_alive()
-            .filter(|p| p.role == Role::Leecher)
-            .map(|p| p.id)
-            .collect();
-        if alive.len() >= 2 {
-            let mut total = 0usize;
-            let mut count = 0usize;
-            for _ in 0..40 {
-                let (Some(&a), Some(&b)) = (sampler.choose(&alive), sampler.choose(&alive))
-                else {
-                    break; // unreachable: `alive` has ≥ 2 entries
-                };
-                if a == b {
-                    continue;
+    let mut crawl = sweep(
+        "fig06",
+        &[()],
+        |_| ("BitTorrent instrumented crawl".to_string(), seed),
+        |_| {
+            let mut sw = BaselineSwarm::new(
+                SwarmConfig::paper(spec),
+                BaselineConfig::default(),
+                Baseline::BitTorrent,
+                trace_plan(n, 0.0, RiderMode::Aggressive, seed),
+                seed,
+            );
+            let wall = std::time::Instant::now();
+            let mut sampler = SimRng::new(seed ^ 0xD1FF);
+            let mut piece_differences = Vec::new();
+            let horizon = match scale {
+                Scale::Quick => 1200.0,
+                Scale::Paper => 6000.0,
+            };
+            let step = horizon / 24.0;
+            let mut t = step;
+            while t <= horizon {
+                sw.run_to(t);
+                let alive: Vec<_> = sw
+                    .base()
+                    .peers
+                    .iter_alive()
+                    .filter(|p| p.role == Role::Leecher)
+                    .map(|p| p.id)
+                    .collect();
+                if alive.len() >= 2 {
+                    let mut total = 0usize;
+                    let mut count = 0usize;
+                    for _ in 0..40 {
+                        let (Some(&a), Some(&b)) = (sampler.choose(&alive), sampler.choose(&alive))
+                        else {
+                            break; // unreachable: `alive` has ≥ 2 entries
+                        };
+                        if a == b {
+                            continue;
+                        }
+                        total +=
+                            sw.base().peers.get(a).have.difference(&sw.base().peers.get(b).have);
+                        count += 1;
+                    }
+                    if count > 0 {
+                        piece_differences.push((t, total as f64 / count as f64));
+                    }
                 }
-                total += sw.base().peers.get(a).have.difference(&sw.base().peers.get(b).have);
-                count += 1;
+                t += step;
             }
-            if count > 0 {
-                piece_differences.push((t, total as f64 / count as f64));
-            }
+            (piece_differences, wall.elapsed().as_secs_f64())
+        },
+    );
+    meta.note_failures(&crawl.failures);
+    let piece_differences = match crawl.cells.pop().flatten() {
+        Some((pd, wall)) => {
+            meta.note_run(wall);
+            pd
         }
-        t += step;
-    }
-    meta.note_run(wall.elapsed().as_secs_f64());
+        None => Vec::new(),
+    };
     // (b) Pre-occupied initial pieces sweep for T-Chain.
-    let mut initial_fraction_sweep = Vec::new();
-    for frac in [0.0, 0.25, 0.5, 0.75, 0.9] {
-        let mut times = Vec::new();
-        for r in 0..scale.runs().min(4) {
-            let seed = 0x6B00 | r as u64;
+    const FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.9];
+    let runs = scale.runs().min(4);
+    let mut cells = Vec::new();
+    for frac in FRACTIONS {
+        for r in 0..runs {
+            cells.push((frac, 0x6B00 | r as u64));
+        }
+    }
+    let sw = sweep(
+        "fig06",
+        &cells,
+        |&(frac, seed)| (format!("T-Chain initial={frac}"), seed),
+        |&(frac, seed)| {
             let plan = flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed);
-            let out = run_proto(
+            run_proto(
                 Proto::TChain,
                 scale.file_mib(),
                 plan,
                 seed,
                 Horizon::CompliantDone,
                 RunOpts { initial_piece_fraction: frac, ..Default::default() },
-            );
-            meta.absorb(&out);
-            times.extend(out.mean_compliant());
+            )
+        },
+    );
+    meta.note_failures(&sw.failures);
+    let mut outs = sw.cells.into_iter();
+    let mut initial_fraction_sweep = Vec::new();
+    for frac in FRACTIONS {
+        let mut times = Vec::new();
+        for _ in 0..runs {
+            if let Some(out) = outs.next().flatten() {
+                meta.absorb(&out);
+                times.extend(out.mean_compliant());
+            }
         }
         initial_fraction_sweep.push((frac, Summary::of(&times)));
     }

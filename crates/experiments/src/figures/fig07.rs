@@ -2,6 +2,7 @@
 //! compliant vs free-rider completion times per protocol.
 
 use crate::output::{fmt_opt, persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -31,23 +32,42 @@ pub fn run_with_mode(scale: Scale, mode: RiderMode, tag: &str, title: &str) -> V
     };
     let mut points = Vec::new();
     let mut meta = RunMeta::default();
+    let mut cells = Vec::new();
+    for proto in Proto::main_four() {
+        for &n in &scale.swarm_sizes() {
+            for r in 0..scale.runs() {
+                cells.push((proto, n, (n as u64) << 8 | r as u64 | 0x70));
+            }
+        }
+    }
+    let sw = sweep(
+        tag,
+        &cells,
+        |&(proto, n, seed)| (format!("{} n={} 25% FR", proto.name(), n), seed),
+        |&(proto, n, seed)| {
+            let plan = flash_plan(n, 0.25, mode, seed);
+            run_proto(
+                proto,
+                scale.file_mib(),
+                plan,
+                seed,
+                Horizon::ExtendForFreeRiders(horizon),
+                RunOpts::default(),
+            )
+        },
+    );
+    meta.note_failures(&sw.failures);
+    let mut outs = sw.cells.into_iter();
     for proto in Proto::main_four() {
         for &n in &scale.swarm_sizes() {
             let mut ct = Vec::new();
             let mut frt = Vec::new();
             let mut finished = 0usize;
             let mut total = 0usize;
-            for r in 0..scale.runs() {
-                let seed = (n as u64) << 8 | r as u64 | 0x70;
-                let plan = flash_plan(n, 0.25, mode, seed);
-                let out = run_proto(
-                    proto,
-                    scale.file_mib(),
-                    plan,
-                    seed,
-                    Horizon::ExtendForFreeRiders(horizon),
-                    RunOpts::default(),
-                );
+            for _ in 0..scale.runs() {
+                let Some(out) = outs.next().flatten() else {
+                    continue;
+                };
                 meta.absorb(&out);
                 ct.extend(out.mean_compliant());
                 frt.extend(out.mean_free_rider());

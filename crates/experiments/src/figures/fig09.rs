@@ -3,6 +3,7 @@
 //! a warm-up prefix).
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -28,25 +29,45 @@ pub fn run(scale: Scale) -> Vec<Point> {
     };
     let mut points = Vec::new();
     let mut meta = RunMeta::default();
+    const FR_PCTS: [u32; 4] = [0, 10, 25, 50];
+    let runs = scale.runs().min(3);
+    let mut cells = Vec::new();
     for proto in Proto::main_four() {
-        for fr_pct in [0u32, 10, 25, 50] {
+        for fr_pct in FR_PCTS {
+            for r in 0..runs {
+                cells.push((proto, fr_pct, (fr_pct as u64) << 8 | r as u64 | 0x90));
+            }
+        }
+    }
+    let sw = sweep(
+        "fig09",
+        &cells,
+        |&(proto, fr_pct, seed)| (format!("{} {fr_pct}% FR trace", proto.name()), seed),
+        |&(proto, fr_pct, seed)| {
             let frac = fr_pct as f64 / 100.0;
+            // Enough arrivals that `measure` compliant leechers can finish
+            // despite the free-rider share.
+            let arrivals = ((measure as f64 * 1.3) / (1.0 - frac).max(0.2)).ceil() as usize;
+            let plan = trace_plan(arrivals, frac, RiderMode::Aggressive, seed);
+            run_proto(
+                proto,
+                scale.trace_file_mib(),
+                plan,
+                seed,
+                Horizon::CompliantCount(measure, horizon),
+                RunOpts::default(),
+            )
+        },
+    );
+    meta.note_failures(&sw.failures);
+    let mut outs = sw.cells.into_iter();
+    for proto in Proto::main_four() {
+        for fr_pct in FR_PCTS {
             let mut times = Vec::new();
-            for r in 0..scale.runs().min(3) {
-                let seed = (fr_pct as u64) << 8 | r as u64 | 0x90;
-                // Enough arrivals that `measure` compliant leechers can
-                // finish despite the free-rider share.
-                let arrivals =
-                    ((measure as f64 * 1.3) / (1.0 - frac).max(0.2)).ceil() as usize;
-                let plan = trace_plan(arrivals, frac, RiderMode::Aggressive, seed);
-                let out = run_proto(
-                    proto,
-                    scale.trace_file_mib(),
-                    plan,
-                    seed,
-                    Horizon::CompliantCount(measure, horizon),
-                    RunOpts::default(),
-                );
+            for _ in 0..runs {
+                let Some(out) = outs.next().flatten() else {
+                    continue;
+                };
                 meta.absorb(&out);
                 let steady: Vec<f64> = out
                     .compliant_times

@@ -2,6 +2,7 @@
 //! under (a) a flash crowd and (b) trace arrivals.
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, trace_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -22,45 +23,47 @@ pub struct Census {
 /// Runs both halves of Fig. 10.
 pub fn run(scale: Scale) -> Vec<Census> {
     let spec = Proto::TChain.file_spec(scale.file_mib());
-    let mut out = Vec::new();
     let mut meta = RunMeta::default();
-    // (a) Flash crowd, run to completion.
+    // (a) flash crowd run to completion; (b) trace arrivals, fixed horizon.
     let seed = 100;
-    let mut sw = TChainSwarm::new(
-        SwarmConfig::paper(spec),
-        TChainConfig::default(),
-        flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed),
-        seed,
-    );
-    let wall = std::time::Instant::now();
-    sw.run_until_done();
-    meta.note_run(wall.elapsed().as_secs_f64());
-    meta.absorb_metrics(&sw.metrics());
-    out.push(Census {
-        scenario: "flash crowd".into(),
-        chains: sw.chain_series().downsample(24).iter().collect(),
-        leechers: sw.leecher_series().downsample(24).iter().collect(),
-    });
-    // (b) Trace arrivals, fixed horizon.
     let horizon = match scale {
         Scale::Quick => 2_500.0,
         Scale::Paper => 8_000.0,
     };
-    let mut sw = TChainSwarm::new(
-        SwarmConfig::paper(spec),
-        TChainConfig::default(),
-        trace_plan(scale.standard_swarm() * 2, 0.0, RiderMode::Aggressive, seed + 1),
-        seed + 1,
+    let cells = [("flash crowd", seed, None), ("trace", seed + 1, Some(horizon))];
+    let sw = sweep(
+        "fig10",
+        &cells,
+        |&(label, seed, _)| (label.to_string(), seed),
+        |&(label, seed, stop)| {
+            let plan = match stop {
+                None => flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed),
+                Some(_) => {
+                    trace_plan(scale.standard_swarm() * 2, 0.0, RiderMode::Aggressive, seed)
+                }
+            };
+            let mut sw =
+                TChainSwarm::new(SwarmConfig::paper(spec), TChainConfig::default(), plan, seed);
+            let wall = std::time::Instant::now();
+            match stop {
+                None => sw.run_until_done(),
+                Some(t) => sw.run_to(t),
+            }
+            let census = Census {
+                scenario: label.into(),
+                chains: sw.chain_series().downsample(24).iter().collect(),
+                leechers: sw.leecher_series().downsample(24).iter().collect(),
+            };
+            (census, wall.elapsed().as_secs_f64(), sw.metrics())
+        },
     );
-    let wall = std::time::Instant::now();
-    sw.run_to(horizon);
-    meta.note_run(wall.elapsed().as_secs_f64());
-    meta.absorb_metrics(&sw.metrics());
-    out.push(Census {
-        scenario: "trace".into(),
-        chains: sw.chain_series().downsample(24).iter().collect(),
-        leechers: sw.leecher_series().downsample(24).iter().collect(),
-    });
+    meta.note_failures(&sw.failures);
+    let mut out = Vec::new();
+    for (census, wall, metrics) in sw.cells.into_iter().flatten() {
+        meta.note_run(wall);
+        meta.absorb_metrics(&metrics);
+        out.push(census);
+    }
     for c in &out {
         let rows: Vec<Vec<String>> = c
             .chains

@@ -3,6 +3,7 @@
 //! fraction vs free-rider share under trace arrivals.
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, trace_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -24,53 +25,82 @@ pub fn run(scale: Scale) -> Data {
     let spec = Proto::TChain.file_spec(scale.file_mib());
     // (a) manual stepping to sample cumulative origins.
     let seed = 110;
-    let mut sw = TChainSwarm::new(
-        SwarmConfig::paper(spec),
-        TChainConfig::default(),
-        flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed),
-        seed,
-    );
     let mut meta = RunMeta::default();
-    let wall = std::time::Instant::now();
-    let mut cumulative = Vec::new();
-    let mut next_sample = 0.0;
-    loop {
-        sw.step();
-        let now = sw.base().clock.now();
-        if now >= next_sample {
-            let s = sw.chain_stats();
-            cumulative.push((now, s.created_by_seeder, s.created_by_leechers));
-            next_sample += 25.0;
+    let mut stepping = sweep(
+        "fig11",
+        &[()],
+        |_| ("chains by origin (flash crowd)".to_string(), seed),
+        |_| {
+            let mut sw = TChainSwarm::new(
+                SwarmConfig::paper(spec),
+                TChainConfig::default(),
+                flash_plan(scale.standard_swarm(), 0.0, RiderMode::Aggressive, seed),
+                seed,
+            );
+            let wall = std::time::Instant::now();
+            let mut cumulative = Vec::new();
+            let mut next_sample = 0.0;
+            loop {
+                sw.step();
+                let now = sw.base().clock.now();
+                if now >= next_sample {
+                    let s = sw.chain_stats();
+                    cumulative.push((now, s.created_by_seeder, s.created_by_leechers));
+                    next_sample += 25.0;
+                }
+                let done = sw.base().peers.iter().all(|p| {
+                    p.role != tchain_proto::Role::Leecher || p.done_time.is_some() || !p.alive()
+                });
+                if (done && now > 20.0) || now > 20_000.0 {
+                    break;
+                }
+            }
+            (cumulative, wall.elapsed().as_secs_f64(), sw.metrics())
+        },
+    );
+    meta.note_failures(&stepping.failures);
+    let cumulative = match stepping.cells.pop().flatten() {
+        Some((cumulative, wall, metrics)) => {
+            meta.note_run(wall);
+            meta.absorb_metrics(&metrics);
+            cumulative
         }
-        let done = sw.base().peers.iter().all(|p| {
-            p.role != tchain_proto::Role::Leecher || p.done_time.is_some() || !p.alive()
-        });
-        if (done && now > 20.0) || now > 20_000.0 {
-            break;
-        }
-    }
-    meta.note_run(wall.elapsed().as_secs_f64());
-    meta.absorb_metrics(&sw.metrics());
+        None => Vec::new(),
+    };
     // (b) trace with free-rider sweep.
+    let cells: Vec<(u32, u64)> =
+        [0u32, 25, 50].iter().map(|&p| (p, 0xB0 | p as u64)).collect();
+    let sw = sweep(
+        "fig11",
+        &cells,
+        |&(fr_pct, seed)| (format!("opportunistic {fr_pct}% FR trace"), seed),
+        |&(fr_pct, seed)| {
+            let n = scale.standard_swarm();
+            let mut sw = TChainSwarm::new(
+                SwarmConfig::paper(spec),
+                TChainConfig::default(),
+                trace_plan(n, fr_pct as f64 / 100.0, RiderMode::Aggressive, seed),
+                seed,
+            );
+            let horizon = match scale {
+                Scale::Quick => 2_000.0,
+                Scale::Paper => 8_000.0,
+            };
+            let wall = std::time::Instant::now();
+            sw.run_to(horizon);
+            (
+                (fr_pct, sw.chain_stats().opportunistic_fraction()),
+                wall.elapsed().as_secs_f64(),
+                sw.metrics(),
+            )
+        },
+    );
+    meta.note_failures(&sw.failures);
     let mut opportunistic_by_fr = Vec::new();
-    for fr_pct in [0u32, 25, 50] {
-        let seed = 0xB0 | fr_pct as u64;
-        let n = scale.standard_swarm();
-        let mut sw = TChainSwarm::new(
-            SwarmConfig::paper(spec),
-            TChainConfig::default(),
-            trace_plan(n, fr_pct as f64 / 100.0, RiderMode::Aggressive, seed),
-            seed,
-        );
-        let horizon = match scale {
-            Scale::Quick => 2_000.0,
-            Scale::Paper => 8_000.0,
-        };
-        let wall = std::time::Instant::now();
-        sw.run_to(horizon);
-        meta.note_run(wall.elapsed().as_secs_f64());
-        meta.absorb_metrics(&sw.metrics());
-        opportunistic_by_fr.push((fr_pct, sw.chain_stats().opportunistic_fraction()));
+    for (point, wall, metrics) in sw.cells.into_iter().flatten() {
+        meta.note_run(wall);
+        meta.absorb_metrics(&metrics);
+        opportunistic_by_fr.push(point);
     }
     let rows: Vec<Vec<String>> = cumulative
         .iter()

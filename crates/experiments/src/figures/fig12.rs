@@ -1,6 +1,7 @@
 //! Fig. 12: fairness-factor CDFs without and with 25 % free-riders.
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{run_proto, trace_plan, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -30,23 +31,43 @@ pub fn run(scale: Scale) -> Vec<Curve> {
     };
     let mut curves = Vec::new();
     let mut meta = RunMeta::default();
-    for fr_pct in [0u32, 25] {
-        let frac = fr_pct as f64 / 100.0;
+    const FR_PCTS: [u32; 2] = [0, 25];
+    let runs = scale.runs().min(3);
+    let mut cells = Vec::new();
+    for fr_pct in FR_PCTS {
+        for proto in Proto::main_four() {
+            for r in 0..runs {
+                cells.push((proto, fr_pct, (fr_pct as u64) << 8 | r as u64 | 0xC0));
+            }
+        }
+    }
+    let sw = sweep(
+        "fig12",
+        &cells,
+        |&(proto, fr_pct, seed)| (format!("{} fairness {fr_pct}% FR", proto.name()), seed),
+        |&(proto, fr_pct, seed)| {
+            let frac = fr_pct as f64 / 100.0;
+            let arrivals = ((measure as f64 * 1.3) / (1.0 - frac).max(0.2)).ceil() as usize;
+            let plan = trace_plan(arrivals, frac, RiderMode::Aggressive, seed);
+            run_proto(
+                proto,
+                scale.trace_file_mib(),
+                plan,
+                seed,
+                Horizon::CompliantCount(measure, horizon),
+                RunOpts::default(),
+            )
+        },
+    );
+    meta.note_failures(&sw.failures);
+    let mut outs = sw.cells.into_iter();
+    for fr_pct in FR_PCTS {
         for proto in Proto::main_four() {
             let mut factors = Vec::new();
-            for r in 0..scale.runs().min(3) {
-                let seed = (fr_pct as u64) << 8 | r as u64 | 0xC0;
-                let arrivals =
-                    ((measure as f64 * 1.3) / (1.0 - frac).max(0.2)).ceil() as usize;
-                let plan = trace_plan(arrivals, frac, RiderMode::Aggressive, seed);
-                let out = run_proto(
-                    proto,
-                    scale.trace_file_mib(),
-                    plan,
-                    seed,
-                    Horizon::CompliantCount(measure, horizon),
-                    RunOpts::default(),
-                );
+            for _ in 0..runs {
+                let Some(out) = outs.next().flatten() else {
+                    continue;
+                };
                 meta.absorb(&out);
                 // Last `pop` finished compliant leechers (steady state).
                 let skip = out.fairness.len().saturating_sub(pop);

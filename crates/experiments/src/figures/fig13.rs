@@ -3,6 +3,7 @@
 //! including Random BitTorrent.
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -31,26 +32,51 @@ pub fn run(scale: Scale) -> Vec<Point> {
     let n = scale.small_file_swarm();
     let mut points = Vec::new();
     let mut meta = RunMeta::default();
-    for fr_pct in [0u32, 50] {
+    const FR_PCTS: [u32; 2] = [0, 50];
+    let runs = scale.runs().min(3);
+    let mut cells = Vec::new();
+    for fr_pct in FR_PCTS {
+        for proto in Proto::with_random_bt() {
+            for &pieces in &piece_counts {
+                for r in 0..runs {
+                    let seed = (pieces as u64) << 9 | (fr_pct as u64) << 1 | r as u64;
+                    cells.push((proto, fr_pct, pieces, seed));
+                }
+            }
+        }
+    }
+    let sw = sweep(
+        "fig13",
+        &cells,
+        |&(proto, fr_pct, pieces, seed)| {
+            (format!("{} {pieces}p {fr_pct}% FR churn", proto.name()), seed)
+        },
+        |&(proto, fr_pct, pieces, seed)| {
+            let plan = flash_plan(n, fr_pct as f64 / 100.0, RiderMode::Aggressive, seed);
+            run_proto(
+                proto,
+                1.0, // overridden by custom_pieces
+                plan,
+                seed,
+                Horizon::Fixed(window),
+                RunOpts {
+                    custom_pieces: Some(pieces),
+                    replace_on_finish: true,
+                    ..Default::default()
+                },
+            )
+        },
+    );
+    meta.note_failures(&sw.failures);
+    let mut outs = sw.cells.into_iter();
+    for fr_pct in FR_PCTS {
         for proto in Proto::with_random_bt() {
             for &pieces in &piece_counts {
                 let mut tp = Vec::new();
-                for r in 0..scale.runs().min(3) {
-                    let seed = (pieces as u64) << 9 | (fr_pct as u64) << 1 | r as u64;
-                    let plan =
-                        flash_plan(n, fr_pct as f64 / 100.0, RiderMode::Aggressive, seed);
-                    let out = run_proto(
-                        proto,
-                        1.0, // overridden by custom_pieces
-                        plan,
-                        seed,
-                        Horizon::Fixed(window),
-                        RunOpts {
-                            custom_pieces: Some(pieces),
-                            replace_on_finish: true,
-                            ..Default::default()
-                        },
-                    );
+                for _ in 0..runs {
+                    let Some(out) = outs.next().flatten() else {
+                        continue;
+                    };
                     meta.absorb(&out);
                     tp.push(out.mean_goodput * 8.0 / 1000.0); // → Kbps
                 }

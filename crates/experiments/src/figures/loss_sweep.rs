@@ -10,6 +10,7 @@
 //! offers, so they bracket the cost of T-Chain's extra round trips.
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto_with_faults, Horizon, Proto, RiderMode, RunOpts};
 use serde::Serialize;
@@ -42,28 +43,49 @@ pub fn run(scale: Scale) -> Vec<Point> {
     let losses: [f64; 5] = [0.0, 0.05, 0.10, 0.20, 0.30];
     let mut points = Vec::new();
     let mut meta = RunMeta::default();
+    let runs = scale.runs().min(3);
+    let mut cells = Vec::new();
     for (pi, &proto) in protos.iter().enumerate() {
         for (li, &loss) in losses.iter().enumerate() {
+            for r in 0..runs {
+                let seed = ((li as u64) << 10) ^ ((pi as u64) << 6) ^ (r as u64) ^ 0xFA7;
+                cells.push((proto, loss, seed));
+            }
+        }
+    }
+    let sw = sweep(
+        "loss_sweep",
+        &cells,
+        |&(proto, loss, seed)| (format!("{} loss={loss}", proto.name()), seed),
+        |&(proto, loss, seed)| {
+            let plan = flash_plan(n, 0.0, RiderMode::Aggressive, seed);
+            let faults = if loss == 0.0 {
+                FaultPlan::none()
+            } else {
+                FaultPlan::lossy(seed ^ 0x1055, loss)
+            };
+            run_proto_with_faults(
+                proto,
+                scale.file_mib(),
+                plan,
+                seed,
+                Horizon::CompliantDone,
+                RunOpts::default(),
+                faults,
+            )
+        },
+    );
+    meta.note_failures(&sw.failures);
+    let mut outs = sw.cells.into_iter();
+    for &proto in protos.iter() {
+        for &loss in losses.iter() {
             let mut times = Vec::new();
             let mut unfinished = 0usize;
             let mut recovery = RecoveryCounters::default();
-            for r in 0..scale.runs().min(3) {
-                let seed = ((li as u64) << 10) ^ ((pi as u64) << 6) ^ (r as u64) ^ 0xFA7;
-                let plan = flash_plan(n, 0.0, RiderMode::Aggressive, seed);
-                let faults = if loss == 0.0 {
-                    FaultPlan::none()
-                } else {
-                    FaultPlan::lossy(seed ^ 0x1055, loss)
+            for _ in 0..runs {
+                let Some(out) = outs.next().flatten() else {
+                    continue;
                 };
-                let out = run_proto_with_faults(
-                    proto,
-                    scale.file_mib(),
-                    plan,
-                    seed,
-                    Horizon::CompliantDone,
-                    RunOpts::default(),
-                    faults,
-                );
                 meta.absorb(&out);
                 if let Some(m) = out.mean_compliant() {
                     times.push(m);

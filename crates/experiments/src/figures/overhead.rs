@@ -2,6 +2,7 @@
 //! this machine (same code path as the `crypto` criterion bench).
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use serde::Serialize;
 use tchain_analysis::EncryptionOverhead;
@@ -25,30 +26,52 @@ pub struct Data {
 
 /// Measures the cipher and prints the §III-C table.
 pub fn run(scale: Scale) -> Data {
-    let wall = std::time::Instant::now();
-    let mut ring = Keyring::new(1);
-    let (_, key) = ring.mint();
-    let mut buf = vec![0u8; 4 * 1024 * 1024];
-    // Warm-up + measure.
-    key.apply(&mut buf);
-    let start = std::time::Instant::now();
-    let reps = 8;
-    for _ in 0..reps {
-        key.apply(&mut buf);
-    }
-    let secs = start.elapsed().as_secs_f64();
-    let throughput = (reps * buf.len()) as f64 / secs;
-    let enc = EncryptionOverhead::from_throughput(throughput);
-    let gb = 1024.0 * 1024.0 * 1024.0;
-    let data = Data {
-        cipher_bytes_per_sec: throughput,
-        encryption_overhead: enc.overhead_fraction(gb, 1_000_000.0),
-        space_overhead: tchain_analysis::overhead::space_overhead_fraction(
-            gb,
-            128.0 * 1024.0,
-            32.0,
-        ),
-        chain_slots_100: tchain_analysis::overhead::chain_completion_slots(100),
+    let mut meta = RunMeta::default();
+    let mut cell = sweep(
+        "overhead",
+        &[()],
+        |_| ("cipher throughput measurement".to_string(), 0),
+        |_| {
+            let wall = std::time::Instant::now();
+            let mut ring = Keyring::new(1);
+            let (_, key) = ring.mint();
+            let mut buf = vec![0u8; 4 * 1024 * 1024];
+            // Warm-up + measure.
+            key.apply(&mut buf);
+            let start = std::time::Instant::now();
+            let reps = 8;
+            for _ in 0..reps {
+                key.apply(&mut buf);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let throughput = (reps * buf.len()) as f64 / secs;
+            let enc = EncryptionOverhead::from_throughput(throughput);
+            let gb = 1024.0 * 1024.0 * 1024.0;
+            let data = Data {
+                cipher_bytes_per_sec: throughput,
+                encryption_overhead: enc.overhead_fraction(gb, 1_000_000.0),
+                space_overhead: tchain_analysis::overhead::space_overhead_fraction(
+                    gb,
+                    128.0 * 1024.0,
+                    32.0,
+                ),
+                chain_slots_100: tchain_analysis::overhead::chain_completion_slots(100),
+            };
+            (data, wall.elapsed().as_secs_f64())
+        },
+    );
+    meta.note_failures(&cell.failures);
+    let data = match cell.cells.pop().flatten() {
+        Some((data, wall)) => {
+            meta.note_run(wall);
+            data
+        }
+        None => Data {
+            cipher_bytes_per_sec: 0.0,
+            encryption_overhead: 0.0,
+            space_overhead: 0.0,
+            chain_slots_100: 0,
+        },
     };
     print_table(
         "§III-C overheads (measured cipher)",
@@ -76,8 +99,6 @@ pub fn run(scale: Scale) -> Data {
             ],
         ],
     );
-    let mut meta = RunMeta::default();
-    meta.note_run(wall.elapsed().as_secs_f64());
     persist("overhead", scale.name(), &data, &meta);
     data
 }

@@ -9,6 +9,7 @@
 //! stalled time.
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -101,37 +102,60 @@ pub fn run(scale: Scale) -> Vec<Row> {
     ];
     let mut rows = Vec::new();
     let mut meta = RunMeta::default();
+    let runs = scale.runs().min(3);
+    let mut cells = Vec::new();
     for (label, policy) in policies {
-        let mut startup = Vec::new();
-        let mut rebuf = Vec::new();
-        let mut stalled = Vec::new();
-        let mut completion = Vec::new();
-        for r in 0..scale.runs().min(3) {
-            let seed = 0x57 | (r as u64) << 8;
+        for r in 0..runs {
+            cells.push((label, policy, 0x57 | (r as u64) << 8));
+        }
+    }
+    let sw = sweep(
+        "streaming",
+        &cells,
+        |&(label, _, seed)| (label.to_string(), seed),
+        |&(_, policy, seed)| {
             let plan = flash_plan(n, 0.0, RiderMode::Aggressive, seed);
             let cfg = TChainConfig { piece_selection: policy, ..Default::default() };
-            let mut sw = TChainSwarm::new(SwarmConfig::paper(spec), cfg, plan.clone(), seed);
+            let mut sw = TChainSwarm::new(SwarmConfig::paper(spec), cfg, plan, seed);
             // Watch a sample of viewers (every 6th leecher).
-            let viewers: Vec<NodeId> =
-                (1..=n as u32).step_by(6).map(NodeId).collect();
+            let viewers: Vec<NodeId> = (1..=n as u32).step_by(6).map(NodeId).collect();
             for &v in &viewers {
                 sw.telemetry_mut().watch(v);
             }
             let wall = std::time::Instant::now();
             sw.run_until_done();
-            meta.note_run(wall.elapsed().as_secs_f64());
-            meta.absorb_metrics(&sw.metrics());
-            completion.extend(sw.completion_times(true).iter().copied());
+            let completion: Vec<f64> = sw.completion_times(true);
+            let mut playbacks = Vec::new();
             for &v in &viewers {
                 let Some(tl) = sw.telemetry().timeline(v) else { continue };
                 let join = sw.base().peers.get(v).join_time;
                 if let Some(pb) =
                     simulate_playback(&tl.completions, spec.pieces, buffer, piece_duration, join)
                 {
-                    startup.push(pb.startup_delay);
-                    rebuf.push(pb.rebuffer_events as f64);
-                    stalled.push(pb.rebuffer_time);
+                    playbacks.push(pb);
                 }
+            }
+            (playbacks, completion, wall.elapsed().as_secs_f64(), sw.metrics())
+        },
+    );
+    meta.note_failures(&sw.failures);
+    let mut outs = sw.cells.into_iter();
+    for (label, _) in policies {
+        let mut startup = Vec::new();
+        let mut rebuf = Vec::new();
+        let mut stalled = Vec::new();
+        let mut completion = Vec::new();
+        for _ in 0..runs {
+            let Some((playbacks, ct, wall, metrics)) = outs.next().flatten() else {
+                continue;
+            };
+            meta.note_run(wall);
+            meta.absorb_metrics(&metrics);
+            completion.extend(ct);
+            for pb in playbacks {
+                startup.push(pb.startup_delay);
+                rebuf.push(pb.rebuffer_events as f64);
+                stalled.push(pb.rebuffer_time);
             }
         }
         rows.push(Row {

@@ -10,6 +10,7 @@
 //! (simplicity, TTP reliance) are properties of the designs themselves.
 
 use crate::output::{persist, print_table, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, Proto, RiderMode};
 use serde::Serialize;
@@ -50,15 +51,15 @@ fn mark(ratio: f64) -> Cell {
     Cell { mark, ratio }
 }
 
-/// Runs one mini-swarm and returns the free-riders' progress ratio:
-/// (FR pieces/time) / (compliant pieces/time).
-fn progress_ratio(
+/// Runs one mini-swarm and returns the free-riders' progress ratio —
+/// (FR pieces/time) / (compliant pieces/time) — plus the run's wall
+/// clock and metric snapshot for the caller's [`RunMeta`].
+pub fn progress_ratio(
     proto: Proto,
     fr: FreeRiderConfig,
     colluding: bool,
     seed: u64,
-    meta: &mut RunMeta,
-) -> f64 {
+) -> (f64, f64, tchain_obs::MetricMap) {
     let n = 36;
     let mut plan = flash_plan(n, 0.0, RiderMode::Aggressive, seed);
     for i in 0..8usize {
@@ -72,7 +73,7 @@ fn progress_ratio(
     let spec = proto.file_spec(2.0);
     let horizon = 900.0;
     let wall = std::time::Instant::now();
-    let (fr_rate, compliant_rate) = match proto {
+    let (fr_rate, compliant_rate, metrics) = match proto {
         Proto::TChain => {
             let mut sw = TChainSwarm::new(
                 SwarmConfig::paper(spec),
@@ -81,8 +82,8 @@ fn progress_ratio(
                 seed,
             );
             sw.run_to(horizon);
-            meta.absorb_metrics(&sw.metrics());
-            rates(sw.base(), horizon)
+            let (f, c) = rates(sw.base(), horizon);
+            (f, c, sw.metrics())
         }
         Proto::Baseline(b) => {
             let mut sw = BaselineSwarm::new(
@@ -93,16 +94,12 @@ fn progress_ratio(
                 seed,
             );
             sw.run_to(horizon);
-            meta.absorb_metrics(&sw.metrics());
-            rates(sw.base(), horizon)
+            let (f, c) = rates(sw.base(), horizon);
+            (f, c, sw.metrics())
         }
     };
-    meta.note_run(wall.elapsed().as_secs_f64());
-    if compliant_rate <= 0.0 {
-        0.0
-    } else {
-        fr_rate / compliant_rate
-    }
+    let ratio = if compliant_rate <= 0.0 { 0.0 } else { fr_rate / compliant_rate };
+    (ratio, wall.elapsed().as_secs_f64(), metrics)
 }
 
 fn rates(base: &tchain_proto::SwarmBase, horizon: f64) -> (f64, f64) {
@@ -175,11 +172,35 @@ pub fn run(scale: Scale) -> Vec<Row> {
         ("Sybil or Whitewashing", whitewash, false),
         ("Collusion (false reports)", whitewash, true),
     ];
-    for (name, cfg, colluding) in attack_rows {
-        let mut cells: Vec<Cell> = protos
-            .iter()
-            .map(|&p| mark(progress_ratio(p, cfg, colluding, 0x72, &mut meta)))
-            .collect();
+    let mut jobs = Vec::new();
+    for &(name, cfg, colluding) in &attack_rows {
+        for &p in protos.iter() {
+            jobs.push((name, p, cfg, colluding));
+        }
+    }
+    let sw = sweep(
+        "table2",
+        &jobs,
+        |&(name, p, _, _)| (format!("{name} vs {}", p.name()), 0x72),
+        |&(_, p, cfg, colluding)| progress_ratio(p, cfg, colluding, 0x72),
+    );
+    meta.note_failures(&sw.failures);
+    let mut outs = sw.cells.into_iter();
+    for (name, _, _) in attack_rows {
+        let mut cells: Vec<Cell> = Vec::new();
+        for _ in protos.iter() {
+            // A panicked mini-swarm scores as NaN (rendered bare, like the
+            // structural rows) rather than sinking the whole table.
+            let ratio = match outs.next().flatten() {
+                Some((ratio, wall, metrics)) => {
+                    meta.note_run(wall);
+                    meta.absorb_metrics(&metrics);
+                    ratio
+                }
+                None => f64::NAN,
+            };
+            cells.push(mark(ratio));
+        }
         // EigenTrust / Dandelion model columns.
         let et = match name {
             "Collusion (false reports)" => eigentrust_ratio(Actor::Colluder, 20),

@@ -12,6 +12,7 @@
 //!   and the unified metric snapshot.
 
 use crate::output::{persist, print_table, results_dir, RunMeta};
+use crate::runner::sweep;
 use crate::scale::Scale;
 use crate::scenario::{flash_plan, run_proto, Horizon, Proto, RiderMode, RunOpts, RunOutcome};
 use serde::Serialize;
@@ -38,15 +39,25 @@ pub struct Data {
 pub fn run(scale: Scale) -> RunOutcome {
     let n = (scale.standard_swarm() / 4).max(12);
     let seed = 0x7ACE;
-    let plan = flash_plan(n, 0.25, RiderMode::Aggressive, seed);
-    let out = run_proto(
-        Proto::TChain,
-        scale.file_mib().min(2.0),
-        plan,
-        seed,
-        Horizon::CompliantDone,
-        RunOpts { trace_capacity: Some(RING_CAPACITY), profile: true, ..Default::default() },
+    let mut meta = RunMeta::default();
+    let mut cell = sweep(
+        "trace",
+        &[()],
+        |_| (format!("traced flash crowd n={n}"), seed),
+        |_| {
+            let plan = flash_plan(n, 0.25, RiderMode::Aggressive, seed);
+            run_proto(
+                Proto::TChain,
+                scale.file_mib().min(2.0),
+                plan,
+                seed,
+                Horizon::CompliantDone,
+                RunOpts { trace_capacity: Some(RING_CAPACITY), profile: true, ..Default::default() },
+            )
+        },
     );
+    meta.note_failures(&cell.failures);
+    let out = cell.cells.pop().flatten().unwrap_or_default();
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
@@ -68,7 +79,6 @@ pub fn run(scale: Scale) -> RunOutcome {
         .map(|(k, v)| vec![k.clone(), v.to_string()])
         .collect();
     print_table("trace run: unified metric snapshot", &["metric", "value"], &rows);
-    let mut meta = RunMeta::default();
     meta.absorb(&out);
     let data = Data {
         swarm: n as u64,

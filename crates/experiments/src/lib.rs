@@ -16,10 +16,16 @@
 
 pub mod figures;
 mod output;
+pub mod runner;
 mod scale;
 mod scenario;
 
-pub use output::{fmt_opt, persist, print_table, results_dir, save, save_with_meta, RunMeta};
+pub use output::{
+    deterministic_view, fmt_opt, persist, print_table, results_dir, save, save_with_meta, RunMeta,
+};
+pub use runner::{
+    effective_jobs, parse_jobs_args, set_jobs, sweep, take_failures, FailedCell, Sweep,
+};
 pub use scale::Scale;
 pub use scenario::{
     flash_plan, run_proto, run_proto_with_faults, trace_plan, Horizon, Proto, RiderMode, RunOpts,

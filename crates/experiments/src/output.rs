@@ -9,10 +9,19 @@ use std::path::PathBuf;
 
 use tchain_obs::{MetricMap, PhaseProfile};
 
+use crate::runner::FailedCell;
 use crate::scenario::RunOutcome;
 
 /// Aggregated observability bookkeeping for one figure's batch of runs,
 /// persisted next to the figure data by [`persist`].
+///
+/// The persisted envelope separates the *simulation-determined* fields
+/// (`runs`, `peak_event_depth`, `metrics`, `failed_cells`) from the
+/// *host-measured* ones (`wall_clock_s`, `phases`): the former are
+/// byte-identical for any `--jobs` worker count, the latter vary from
+/// run to run and are emitted on a single strippable `"host"` line (see
+/// [`deterministic_view`]) or omitted entirely with
+/// `TCHAIN_HOST_META=off`.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct RunMeta {
     /// Simulator runs absorbed into this record.
@@ -26,6 +35,8 @@ pub struct RunMeta {
     pub phases: PhaseProfile,
     /// Named metrics from the stats registry, summed across runs.
     pub metrics: MetricMap,
+    /// Cells that panicked and were skipped by the runner.
+    pub failed: Vec<FailedCell>,
 }
 
 impl RunMeta {
@@ -52,6 +63,12 @@ impl RunMeta {
             let slot = self.metrics.entry(k.clone()).or_insert(0);
             *slot = slot.saturating_add(v);
         }
+    }
+
+    /// Records a sweep's panicked cells into the batch (they are part of
+    /// the persisted run summary, not a reason to abort the figure).
+    pub fn note_failures(&mut self, failures: &[FailedCell]) {
+        self.failed.extend_from_slice(failures);
     }
 }
 
@@ -85,11 +102,59 @@ pub fn save_with_meta<T: Serialize>(
     write_results_file(name, scale, meta_document(data, meta)?)
 }
 
-/// Hand-assembled `{"meta": …, "data": …}` envelope: the two parts are
-/// serialized separately so the document shape stays fixed regardless of
-/// `T`.
+/// Hand-assembled `{"meta": {"host": …, "sim": …}, "data": …}` envelope.
+///
+/// The two meta halves are built field-by-field from compactly
+/// serialized owned values — not via a borrowed wrapper struct — so the
+/// meta section's bytes do not depend on the serializer's pretty-printer
+/// and the host-measured fields stay on one strippable line (see
+/// [`deterministic_view`]). `TCHAIN_HOST_META=off` omits that line,
+/// making the whole document byte-identical across repeated runs.
 fn meta_document<T: Serialize>(data: &T, meta: &RunMeta) -> std::io::Result<String> {
-    Ok(format!("{{\n\"meta\": {},\n\"data\": {}\n}}", to_json(meta)?, to_json(data)?))
+    let sim = format!(
+        "{{\n\"runs\": {},\n\"peak_event_depth\": {},\n\"failed_cells\": {},\n\"metrics\": {}\n}}",
+        meta.runs,
+        meta.peak_event_depth,
+        to_compact(&meta.failed)?,
+        to_compact(&meta.metrics)?,
+    );
+    let host_line = if host_meta_enabled() {
+        format!(
+            "\"host\": {{\"wall_clock_s\":{},\"phases\":{}}},\n",
+            to_compact(&meta.wall_clock_s)?,
+            to_compact(&meta.phases)?,
+        )
+    } else {
+        String::new()
+    };
+    Ok(format!(
+        "{{\n\"meta\": {{\n{host_line}\"sim\": {sim}\n}},\n\"data\": {}\n}}",
+        to_json(data)?
+    ))
+}
+
+fn to_compact<T: Serialize>(value: &T) -> std::io::Result<String> {
+    serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn host_meta_enabled() -> bool {
+    !matches!(
+        std::env::var("TCHAIN_HOST_META").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
+}
+
+/// Strips the host-measured line from a persisted results document,
+/// leaving exactly the bytes that must be identical for any `--jobs`
+/// worker count (and equal to a `TCHAIN_HOST_META=off` document). The
+/// line filter relies on [`meta_document`] emitting the host object on
+/// one line that starts with `"host": `.
+pub fn deterministic_view(doc: &str) -> String {
+    doc.lines()
+        .filter(|l| !l.trim_start().starts_with("\"host\": "))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Saves a figure document with run metadata; failures are reported on
@@ -151,6 +216,9 @@ pub fn fmt_opt(v: Option<f64>) -> String {
 mod tests {
     use super::*;
 
+    /// Serializes tests that read or toggle `TCHAIN_HOST_META`.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn save_roundtrip() {
         let dir = std::env::temp_dir().join("tchain-results-test");
@@ -181,12 +249,55 @@ mod tests {
 
     #[test]
     fn meta_envelope_has_fixed_shape() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let meta = RunMeta { runs: 2, ..Default::default() };
         let doc = meta_document(&vec![1u64, 2], &meta).unwrap();
         assert!(doc.starts_with('{') && doc.ends_with('}'));
         assert!(doc.contains("\"meta\""));
         assert!(doc.contains("\"data\""));
         assert!(doc.contains("\"runs\""));
+        assert!(doc.contains("\"host\""));
+        assert!(doc.contains("\"sim\""));
+        assert!(doc.contains("\"failed_cells\""));
+    }
+
+    #[test]
+    fn host_line_is_exactly_the_nondeterministic_part() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let meta = RunMeta { runs: 3, wall_clock_s: 1.25, ..Default::default() };
+        let doc = meta_document(&vec![7u64], &meta).unwrap();
+        // The host object lives on a single line…
+        let host_lines: Vec<&str> =
+            doc.lines().filter(|l| l.trim_start().starts_with("\"host\": ")).collect();
+        assert_eq!(host_lines.len(), 1);
+        assert!(host_lines[0].contains("wall_clock_s"));
+        // …and stripping it yields the TCHAIN_HOST_META=off document.
+        let stripped = deterministic_view(&doc);
+        assert!(!stripped.contains("wall_clock_s"));
+        std::env::set_var("TCHAIN_HOST_META", "off");
+        let off = meta_document(&vec![7u64], &meta).unwrap();
+        std::env::remove_var("TCHAIN_HOST_META");
+        assert_eq!(stripped, off);
+        // Two metas differing only in host measurements agree after the strip.
+        let slower = RunMeta { runs: 3, wall_clock_s: 99.0, ..Default::default() };
+        let doc2 = meta_document(&vec![7u64], &slower).unwrap();
+        assert_ne!(doc, doc2);
+        assert_eq!(deterministic_view(&doc), deterministic_view(&doc2));
+    }
+
+    #[test]
+    fn failed_cells_are_persisted() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut meta = RunMeta::default();
+        meta.note_failures(&[crate::runner::FailedCell {
+            figure: "figXX".into(),
+            scenario: "T-Chain n=50".into(),
+            seed: 42,
+            panic: "boom".into(),
+        }]);
+        let doc = meta_document(&Vec::<u64>::new(), &meta).unwrap();
+        assert!(doc.contains("figXX"));
+        assert!(doc.contains("boom"));
     }
 
     #[test]

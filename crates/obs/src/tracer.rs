@@ -105,6 +105,18 @@ macro_rules! trace_event {
 mod tests {
     use super::*;
 
+    /// The parallel experiment runner moves tracers (inside run
+    /// outcomes) across worker threads; keep that a compile-time
+    /// guarantee.
+    #[test]
+    fn tracer_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Tracer>();
+        assert_send::<crate::EventRing>();
+        assert_send::<crate::TraceRecord>();
+        assert_send::<crate::StatsRegistry>();
+    }
+
     #[test]
     fn disabled_tracer_records_nothing() {
         let mut tr = Tracer::disabled();

@@ -93,8 +93,9 @@ pub struct FlowScheduler {
     downloaded: Vec<f64>,
     active: usize,
     stats: FlowStats,
-    // Scratch buffer reused across `advance` calls.
+    // Scratch buffers reused across `advance` calls.
     scratch: Vec<(u32, f64, f64)>,
+    weight_suffix: Vec<f64>,
 }
 
 impl FlowScheduler {
@@ -295,7 +296,6 @@ impl FlowScheduler {
             // Water-filling: serve flows in increasing remaining/weight;
             // each finishing flow returns its unused share to the pool.
             self.scratch.clear();
-            let mut total_weight = 0.0;
             let mut stale = false;
             for &id in &self.by_src[src] {
                 // A dangling index entry would previously panic; count it
@@ -303,7 +303,6 @@ impl FlowScheduler {
                 match self.slots.get(id.slot as usize) {
                     Some(Some(f)) if f.id == id => {
                         self.scratch.push((id.slot, f.remaining(), f.weight));
-                        total_weight += f.weight;
                     }
                     _ => {
                         self.stats.anomalies += 1;
@@ -317,12 +316,33 @@ impl FlowScheduler {
             }
             self.scratch.sort_by(|a, b| (a.1 / a.2).total_cmp(&(b.1 / b.2)));
             let mut scratch = std::mem::take(&mut self.scratch);
-            for &(slot, remaining, weight) in scratch.iter() {
+            // Exact remaining-weight bookkeeping via suffix sums. The old
+            // running `total_weight -= weight` accumulated float drift and
+            // could reach zero or negative while flows remained, turning
+            // shares into NaN/inf. Flows finish strictly in sort order
+            // (remaining/weight ascending), so while every flow so far has
+            // finished, the live weight is exactly the suffix sum at the
+            // current index; after the first non-finisher it stays fixed.
+            self.weight_suffix.clear();
+            self.weight_suffix.resize(scratch.len() + 1, 0.0);
+            for i in (0..scratch.len()).rev() {
+                self.weight_suffix[i] = self.weight_suffix[i + 1] + scratch[i].2;
+            }
+            let mut total_weight = self.weight_suffix.first().copied().unwrap_or(0.0);
+            let mut all_finished = true;
+            for (i, &(slot, remaining, weight)) in scratch.iter().enumerate() {
+                if all_finished {
+                    total_weight = self.weight_suffix[i];
+                }
+                if total_weight <= 0.0 || budget <= 0.0 {
+                    break;
+                }
                 let share = budget * weight / total_weight;
                 let sent = if remaining <= share { remaining } else { share };
                 if remaining <= share {
-                    budget -= remaining;
-                    total_weight -= weight;
+                    budget = (budget - remaining).max(0.0);
+                } else {
+                    all_finished = false;
                 }
                 if sent > 0.0 {
                     let Some(Some(f)) = self.slots.get_mut(slot as usize) else {
@@ -513,6 +533,54 @@ mod tests {
         s.export_stats("flow.", &mut reg);
         assert_eq!(reg.get("flow.started"), 2);
         assert_eq!(reg.get("flow.completed"), 1);
+    }
+
+    #[test]
+    fn all_flows_finishing_mid_step_keeps_shares_finite() {
+        // Weights of 0.1 are not exactly representable; under the old
+        // running `total_weight -= weight` bookkeeping the pool could
+        // drift to zero or negative before the last flow was served,
+        // producing NaN/inf shares. Capacity is ample, so every flow must
+        // finish in the single step with bytes conserved.
+        let mut fs = FlowScheduler::new();
+        fs.set_capacity(n(0), 1_000_000.0);
+        let flows = 25u32;
+        for i in 1..=flows {
+            fs.start(n(0), n(i), 100.0, 0.1, i as u64);
+        }
+        let mut done = Vec::new();
+        fs.advance(1.0, &mut done);
+        assert_eq!(done.len(), flows as usize, "every flow finishes mid-step");
+        assert_eq!(fs.active(), 0);
+        let up = fs.uploaded(n(0));
+        assert!(up.is_finite());
+        assert!((up - 100.0 * flows as f64).abs() < 1e-6);
+        for f in &done {
+            assert!(f.done.is_finite());
+            assert!((f.done - 100.0).abs() < 1e-6);
+        }
+        let recv: f64 = (1..=flows).map(|i| fs.downloaded(n(i))).sum();
+        assert!((recv - up).abs() < 1e-6, "uploads equal downloads");
+    }
+
+    #[test]
+    fn tiny_weights_never_produce_nan_shares() {
+        // A pathological mix of magnitudes: the running subtraction would
+        // cancel catastrophically; suffix sums must keep every share
+        // finite and non-negative.
+        let mut fs = FlowScheduler::new();
+        fs.set_capacity(n(0), 1e9);
+        for i in 1..=12u32 {
+            let w = if i % 2 == 0 { 1e-9 } else { 1e9 };
+            fs.start(n(0), n(i), 64.0 * 1024.0, w, i as u64);
+        }
+        let mut done = Vec::new();
+        fs.advance(1.0, &mut done);
+        assert_eq!(done.len(), 12);
+        for f in &done {
+            assert!(f.done.is_finite() && f.done >= 0.0);
+        }
+        assert!(fs.uploaded(n(0)).is_finite());
     }
 
     #[test]

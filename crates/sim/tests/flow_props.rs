@@ -1,0 +1,191 @@
+//! Property-based tests for the weighted max-min invariants of
+//! [`FlowScheduler::advance`]: capacity is a hard per-step budget, bytes
+//! are conserved end to end, no flow overshoots its size, and index
+//! reconciliation never loses a live flow.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tchain_sim::{FlowId, FlowScheduler, NodeId};
+
+const EPS: f64 = 1e-6;
+
+proptest! {
+    /// Each uploader sends at most `capacity * dt` bytes per step (plus
+    /// float slack), and the uploaded counter is monotone.
+    #[test]
+    fn per_source_bytes_bounded_by_capacity(
+        caps in proptest::collection::vec(0.0f64..500.0, 1..4),
+        flows in proptest::collection::vec((0u8..8, 1.0f64..400.0, 0.1f64..4.0), 1..16),
+        dts in proptest::collection::vec(0.1f64..2.0, 1..30),
+    ) {
+        let mut fs = FlowScheduler::new();
+        let nsrc = caps.len() as u32;
+        for (i, &c) in caps.iter().enumerate() {
+            fs.set_capacity(NodeId(i as u32), c);
+        }
+        for (j, &(s, size, w)) in flows.iter().enumerate() {
+            let src = NodeId(s as u32 % nsrc);
+            fs.start(src, NodeId(nsrc + j as u32), size, w, j as u64);
+        }
+        let mut done = Vec::new();
+        let mut last: Vec<f64> = vec![0.0; caps.len()];
+        for &dt in &dts {
+            fs.advance(dt, &mut done);
+            for (i, &cap) in caps.iter().enumerate() {
+                let up = fs.uploaded(NodeId(i as u32));
+                prop_assert!(up.is_finite());
+                prop_assert!(
+                    up - last[i] <= cap * dt + EPS,
+                    "source {i} sent {} in one step, budget {}",
+                    up - last[i],
+                    cap * dt
+                );
+                prop_assert!(up >= last[i] - EPS, "uploaded counter went backwards");
+                last[i] = up;
+            }
+        }
+    }
+
+    /// Every byte leaving an uploader arrives at exactly one downloader:
+    /// total uploads equal total downloads, and both equal the progress
+    /// recorded on the flows themselves (live, completed and cancelled).
+    #[test]
+    fn bytes_are_conserved(
+        caps in proptest::collection::vec(1.0f64..300.0, 1..4),
+        flows in proptest::collection::vec((0u8..8, 1.0f64..400.0, 0.1f64..4.0), 1..16),
+        steps in 1usize..40,
+        cancel_every in 2usize..9,
+    ) {
+        let mut fs = FlowScheduler::new();
+        let nsrc = caps.len() as u32;
+        for (i, &c) in caps.iter().enumerate() {
+            fs.set_capacity(NodeId(i as u32), c);
+        }
+        let mut live: Vec<FlowId> = Vec::new();
+        for (j, &(s, size, w)) in flows.iter().enumerate() {
+            let src = NodeId(s as u32 % nsrc);
+            live.push(fs.start(src, NodeId(nsrc + j as u32), size, w, j as u64));
+        }
+        let mut done = Vec::new();
+        let mut settled = 0.0; // progress on completed + cancelled flows
+        for step in 0..steps {
+            fs.advance(0.5, &mut done);
+            settled += done.drain(..).map(|f| f.done).sum::<f64>();
+            if step % cancel_every == cancel_every - 1 {
+                if let Some(id) = live.pop() {
+                    if let Some(f) = fs.cancel(id) {
+                        settled += f.done;
+                    }
+                }
+            }
+        }
+        let uploaded: f64 = (0..nsrc).map(|i| fs.uploaded(NodeId(i))).sum();
+        let downloaded: f64 =
+            (0..flows.len() as u32).map(|j| fs.downloaded(NodeId(nsrc + j))).sum();
+        prop_assert!((uploaded - downloaded).abs() < EPS, "uploads {uploaded} != downloads {downloaded}");
+        let in_flight: f64 = live.iter().filter_map(|&id| fs.get(id)).map(|f| f.done).sum();
+        prop_assert!(
+            (uploaded - (settled + in_flight)).abs() < EPS,
+            "per-flow progress {} disagrees with uploads {uploaded}",
+            settled + in_flight
+        );
+    }
+
+    /// A flow never transfers more than its size: completed flows land on
+    /// their size (within the completion epsilon) and live flows stay
+    /// strictly below it.
+    #[test]
+    fn no_flow_overshoots_its_size(
+        cap in 1.0f64..1000.0,
+        flows in proptest::collection::vec((1.0f64..400.0, 0.1f64..4.0), 1..16),
+        steps in 1usize..60,
+        dt in 0.1f64..2.0,
+    ) {
+        let mut fs = FlowScheduler::new();
+        fs.set_capacity(NodeId(0), cap);
+        let mut sizes = std::collections::HashMap::new();
+        for (j, &(size, w)) in flows.iter().enumerate() {
+            let id = fs.start(NodeId(0), NodeId(1 + j as u32), size, w, j as u64);
+            sizes.insert(id, size);
+        }
+        let mut done = Vec::new();
+        for _ in 0..steps {
+            fs.advance(dt, &mut done);
+            for f in done.drain(..) {
+                let size = sizes[&f.id];
+                prop_assert!(f.done.is_finite());
+                prop_assert!(f.done <= size + EPS, "completed flow overshot: {} > {size}", f.done);
+                prop_assert!(f.done >= size - 2.0 * EPS, "completed flow undershot: {} < {size}", f.done);
+            }
+            for (&id, &size) in &sizes {
+                if let Some(f) = fs.get(id) {
+                    prop_assert!(f.done.is_finite());
+                    prop_assert!(f.done <= size + EPS);
+                    prop_assert!(f.remaining() >= 0.0);
+                }
+            }
+        }
+    }
+
+    /// Under arbitrary interleavings of start / cancel / advance, the
+    /// stale-index reconciliation in `advance` only ever discards dead
+    /// handles: every flow live before a step is afterwards either still
+    /// live or reported completed, the per-source index agrees with the
+    /// slot table, and no anomalies are ever counted.
+    #[test]
+    fn reconciliation_never_drops_live_flows(
+        ops in proptest::collection::vec((0u8..4, any::<u16>()), 1..80),
+    ) {
+        let mut fs = FlowScheduler::new();
+        for i in 0..4u32 {
+            fs.set_capacity(NodeId(i), 200.0);
+        }
+        let mut live: Vec<FlowId> = Vec::new();
+        let mut done = Vec::new();
+        let mut tag = 0u64;
+        for &(op, x) in &ops {
+            match op {
+                0 | 1 => {
+                    let src = NodeId(x as u32 % 4);
+                    let dst = NodeId(4 + x as u32 % 8);
+                    let size = 20.0 + (x % 200) as f64;
+                    let weight = 0.5 + (x % 5) as f64;
+                    live.push(fs.start(src, dst, size, weight, tag));
+                    tag += 1;
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(x as usize % live.len());
+                        fs.cancel(id);
+                    }
+                }
+                _ => {
+                    let before = live.clone();
+                    done.clear();
+                    fs.advance(0.25 + (x % 4) as f64 * 0.25, &mut done);
+                    let completed: HashSet<FlowId> = done.iter().map(|f| f.id).collect();
+                    for id in &before {
+                        prop_assert!(
+                            fs.get(*id).is_some() || completed.contains(id),
+                            "advance dropped flow {id:?} without completing it"
+                        );
+                    }
+                    live.retain(|id| fs.get(*id).is_some());
+                }
+            }
+            // The per-source index and the slot table must agree on every
+            // live handle.
+            for id in &live {
+                let f = fs.get(*id).expect("tracked handle is live");
+                prop_assert!(
+                    fs.flows_from(f.src).contains(id),
+                    "live flow {id:?} missing from its source index"
+                );
+            }
+            prop_assert_eq!(fs.active(), live.len());
+            prop_assert_eq!(fs.stats().anomalies, 0, "healthy usage must not count anomalies");
+        }
+        let s = fs.stats();
+        prop_assert_eq!(s.started, s.completed + s.cancelled + fs.active() as u64);
+    }
+}

@@ -1,0 +1,159 @@
+//! Thread-count equivalence: a sweep executed with `--jobs 1`, `--jobs 2`
+//! and `--jobs <max>` must produce byte-identical results — per-cell
+//! outcomes, trace JSONL exports, and the persisted results documents
+//! (after stripping the single host-measured line with
+//! [`deterministic_view`]).
+
+use std::sync::Mutex;
+
+use tchain_experiments::{
+    deterministic_view, flash_plan, results_dir, run_proto, save_with_meta, set_jobs, sweep,
+    take_failures, Horizon, Proto, RiderMode, RunMeta, RunOpts, RunOutcome,
+};
+use tchain_obs::to_jsonl;
+
+/// Serializes tests: the `--jobs` override and `TCHAIN_RESULTS` are
+/// process-global.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn with_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
+    set_jobs(jobs);
+    let r = f();
+    set_jobs(0);
+    r
+}
+
+fn max_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2)
+}
+
+/// A small but non-trivial job list: two protocols × three seeds, with
+/// free-riders and tracing on, so the cells have uneven costs and the
+/// work-stealing schedule actually varies between worker counts.
+fn cells() -> Vec<(Proto, u64)> {
+    let mut v = Vec::new();
+    for proto in [Proto::TChain, Proto::Baseline(tchain_baselines::Baseline::BitTorrent)] {
+        for seed in [0xE1u64, 0xE2, 0xE3] {
+            v.push((proto, seed));
+        }
+    }
+    v
+}
+
+fn run_cells() -> Vec<RunOutcome> {
+    let cs = cells();
+    let sw = sweep(
+        "runner-equivalence",
+        &cs,
+        |c| (format!("{} seed={:#x}", c.0.name(), c.1), c.1),
+        |c| {
+            let plan = flash_plan(14, 0.25, RiderMode::Aggressive, c.1);
+            run_proto(
+                c.0,
+                1.0,
+                plan,
+                c.1,
+                Horizon::ExtendForFreeRiders(2000.0),
+                RunOpts { trace_capacity: Some(1 << 14), profile: true, ..Default::default() },
+            )
+        },
+    );
+    assert!(sw.failures.is_empty(), "equivalence cells must not panic: {:?}", sw.failures);
+    sw.into_ok()
+}
+
+#[test]
+fn outcomes_and_traces_identical_for_jobs_1_2_max() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = with_jobs(1, run_cells);
+    assert_eq!(baseline.len(), cells().len());
+    for jobs in [2, max_jobs()] {
+        let alt = with_jobs(jobs, run_cells);
+        assert_eq!(baseline.len(), alt.len());
+        for (i, (a, b)) in baseline.iter().zip(&alt).enumerate() {
+            assert!(
+                a.deterministic_eq(b),
+                "cell {i} diverged between --jobs 1 and --jobs {jobs}"
+            );
+            assert_eq!(
+                to_jsonl(&a.trace_records),
+                to_jsonl(&b.trace_records),
+                "trace JSONL of cell {i} diverged between --jobs 1 and --jobs {jobs}"
+            );
+        }
+    }
+    take_failures();
+}
+
+/// The full persistence path: aggregate each sweep into a `RunMeta`,
+/// write the `{"meta": …, "data": …}` document, and require the
+/// deterministic view of the file bytes to be identical for every
+/// worker count.
+#[test]
+fn persisted_documents_identical_for_jobs_1_2_max() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join("tchain-runner-equivalence");
+    std::env::set_var("TCHAIN_RESULTS", &dir);
+    let doc_for = |jobs: usize| -> String {
+        with_jobs(jobs, || {
+            let outs = run_cells();
+            let mut meta = RunMeta::default();
+            for o in &outs {
+                meta.absorb(o);
+            }
+            // The figure "data": per-cell mean completion + utilization.
+            let data: Vec<(f64, f64)> = outs
+                .iter()
+                .map(|o| (o.mean_compliant().unwrap_or(-1.0), o.uplink_utilization))
+                .collect();
+            let path = save_with_meta("equiv", &format!("jobs{jobs}"), &data, &meta).unwrap();
+            assert_eq!(path.parent().unwrap(), results_dir());
+            deterministic_view(&std::fs::read_to_string(path).unwrap())
+        })
+    };
+    let one = doc_for(1);
+    let two = doc_for(2);
+    let many = doc_for(max_jobs());
+    std::env::remove_var("TCHAIN_RESULTS");
+    std::fs::remove_dir_all(&dir).ok();
+    // Different scale tags name different files but identical content:
+    // the deterministic view must not depend on the worker count.
+    assert_eq!(one, two, "persisted document differs between --jobs 1 and --jobs 2");
+    assert_eq!(one, many, "persisted document differs between --jobs 1 and --jobs max");
+    assert!(one.contains("\"sim\""), "envelope keeps the sim meta");
+    assert!(!one.contains("wall_clock_s"), "host line must be stripped");
+    take_failures();
+}
+
+/// A panicked cell is reported identically regardless of worker count,
+/// and never shifts its surviving neighbours out of canonical order.
+#[test]
+fn failures_are_jobs_invariant() {
+    let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cs: Vec<u64> = (0..9).collect();
+    let run = |jobs: usize| {
+        with_jobs(jobs, || {
+            sweep(
+                "equiv-fail",
+                &cs,
+                |&c| (format!("cell {c}"), c),
+                |&c| {
+                    if c % 4 == 2 {
+                        panic!("cell {c} exploded");
+                    }
+                    c * 7
+                },
+            )
+        })
+    };
+    let base = run(1);
+    for jobs in [2, max_jobs()] {
+        let alt = run(jobs);
+        assert_eq!(base.cells, alt.cells, "jobs={jobs}");
+        assert_eq!(base.failures, alt.failures, "jobs={jobs}");
+    }
+    assert_eq!(base.failures.len(), 2);
+    assert_eq!(base.failures[0].seed, 2);
+    assert_eq!(base.failures[1].seed, 6);
+    take_failures();
+}

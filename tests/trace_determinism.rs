@@ -99,6 +99,51 @@ fn tracing_off_regression_baseline() {
     assert!(plain.deterministic_eq(&traced));
 }
 
+/// The parallel runner must not perturb traced runs: sweeping the same
+/// seeds with 1 worker and 2 workers yields byte-identical trace JSONL
+/// and deterministically equal outcomes.
+#[test]
+fn traced_sweep_is_jobs_invariant() {
+    use tchain_experiments::{set_jobs, sweep, take_failures};
+    let seeds: [u64; 4] = [0xD3, 0xD4, 0xD5, 0xD6];
+    let run_all = |jobs: usize| {
+        set_jobs(jobs);
+        let sw = sweep(
+            "trace-equiv",
+            &seeds,
+            |&s| (format!("seed {s:#x}"), s),
+            |&s| {
+                let plan = flash_plan(14, 0.25, RiderMode::Aggressive, s);
+                run_proto_with_faults(
+                    Proto::TChain,
+                    1.0,
+                    plan,
+                    s,
+                    Horizon::ExtendForFreeRiders(2000.0),
+                    traced_opts(),
+                    FaultPlan::lossy(s, 0.1),
+                )
+            },
+        );
+        set_jobs(0);
+        assert!(sw.failures.is_empty(), "traced cells must not panic");
+        sw.into_ok()
+    };
+    let sequential = run_all(1);
+    let parallel = run_all(2);
+    assert_eq!(sequential.len(), seeds.len());
+    for (i, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+        assert!(!a.trace_records.is_empty(), "seed {i} buffered no events");
+        assert!(a.deterministic_eq(b), "seed {i} diverged between 1 and 2 workers");
+        assert_eq!(
+            to_jsonl(&a.trace_records),
+            to_jsonl(&b.trace_records),
+            "trace JSONL of seed {i} diverged between 1 and 2 workers"
+        );
+    }
+    take_failures();
+}
+
 #[test]
 fn trace_exports_validate() {
     let out = run_once(true, FaultPlan::none());
