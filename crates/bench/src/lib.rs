@@ -136,6 +136,93 @@ pub fn write_runner_summary() -> std::io::Result<std::path::PathBuf> {
     Ok(p)
 }
 
+/// Pushes `frames` bulk `PieceData` frames point-to-point through `t`
+/// and returns the per-backend JSON record, or `None` when the backend
+/// cannot complete the run (e.g. loopback sockets unavailable in a
+/// sandbox).
+fn net_backend_json<T: tchain_net::Transport>(
+    t: &mut T,
+    frames: u64,
+    payload: usize,
+) -> Option<String> {
+    use tchain_net::Frame;
+    use tchain_proto::PieceId;
+    use tchain_sim::NodeId;
+
+    t.register(NodeId(1)).ok()?;
+    t.register(NodeId(2)).ok()?;
+    let body = vec![0xA5u8; payload];
+    let start = std::time::Instant::now();
+    for i in 0..frames {
+        let frame = Frame::PieceData { piece: PieceId((i % 1024) as u32), payload: body.clone() };
+        t.send(NodeId(1), NodeId(2), frame).ok()?;
+    }
+    let mut delivered = 0u64;
+    let mut idle = 0u32;
+    while delivered < frames {
+        let got = t.advance().ok()?;
+        delivered += got.len() as u64;
+        if got.is_empty() {
+            idle += 1;
+            if idle > 20_000 {
+                return None;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        } else {
+            idle = 0;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let mib = t.stats().bytes_delivered as f64 / (1024.0 * 1024.0);
+    Some(format!(
+        "{{\"backend\":\"{}\",\"available\":true,\"reliable\":{},\"elapsed_s\":{:.6},\"frames_per_s\":{:.1},\"mib_per_s\":{:.2}}}",
+        t.backend(),
+        t.reliable(),
+        secs,
+        delivered as f64 / secs,
+        mib / secs,
+    ))
+}
+
+/// Measures raw `tchain-net` transport throughput — one sender pushing a
+/// fixed batch of bulk piece frames to one receiver — through both
+/// backends: the deterministic [`tchain_net::ChannelMesh`] and the real
+/// [`tchain_net::TcpLoopback`] sockets. The TCP leg degrades to
+/// `"available":false` in sandboxes without loopback networking, same
+/// skip the backend's own tests take. Returns the machine-readable
+/// `BENCH_net.json` payload (hand-formatted, no serde).
+pub fn net_summary_json() -> String {
+    use tchain_net::{ChannelMesh, TcpLoopback};
+    use tchain_sim::FaultPlan;
+
+    const FRAMES: u64 = 256;
+    const PAYLOAD: usize = 64 * 1024;
+
+    let mesh = {
+        let mut t = ChannelMesh::new(FaultPlan::none(), 1e-3);
+        net_backend_json(&mut t, FRAMES, PAYLOAD)
+            .unwrap_or_else(|| "{\"backend\":\"channel_mesh\",\"available\":false}".into())
+    };
+    let tcp = TcpLoopback::new()
+        .ok()
+        .and_then(|mut t| net_backend_json(&mut t, FRAMES, PAYLOAD))
+        .unwrap_or_else(|| "{\"backend\":\"tcp_loopback\",\"available\":false}".into());
+    format!(
+        "{{\"frames\":{FRAMES},\"payload_bytes\":{PAYLOAD},\"backends\":[{mesh},{tcp}]}}\n"
+    )
+}
+
+/// Writes [`net_summary_json`] to `BENCH_net.json` in the workspace
+/// root (next to the other bench trajectories).
+pub fn write_net_summary() -> std::io::Result<std::path::PathBuf> {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("BENCH_net.json");
+    std::fs::write(&p, net_summary_json())?;
+    Ok(p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +247,19 @@ mod tests {
         // Refresh the committed trajectory whenever the suite runs.
         let path = write_runner_summary().expect("write BENCH_runner.json");
         assert!(path.ends_with("BENCH_runner.json"));
+    }
+
+    #[test]
+    fn net_summary_populates_bench_trajectory() {
+        let json = net_summary_json();
+        assert!(json.contains("\"backend\":\"channel_mesh\""));
+        assert!(json.contains("\"backend\":\"tcp_loopback\""));
+        // The in-process mesh has no sockets to fail: it must always
+        // produce a throughput number.
+        assert!(json.contains("\"frames_per_s\""), "mesh leg ran: {json}");
+        // Refresh the committed trajectory whenever the suite runs.
+        let path = write_net_summary().expect("write BENCH_net.json");
+        assert!(path.ends_with("BENCH_net.json"));
     }
 
     #[test]

@@ -42,8 +42,26 @@ impl PieceKey {
     }
 
     /// Serialized size in bytes of (key, nonce), used for the §III-C space
-    /// overhead accounting.
-    pub const WIRE_SIZE: usize = 32 + 12;
+    /// overhead accounting and by the wire format's `KeyRelease` payload.
+    pub const WIRE_SIZE: usize =
+        std::mem::size_of::<KeyBytes>() + std::mem::size_of::<Nonce>();
+
+    /// Serializes the key for a `KeyRelease` frame: `key ‖ nonce`.
+    pub fn to_wire_bytes(&self) -> [u8; Self::WIRE_SIZE] {
+        let mut out = [0u8; Self::WIRE_SIZE];
+        out[..self.key.len()].copy_from_slice(&self.key);
+        out[self.key.len()..].copy_from_slice(&self.nonce);
+        out
+    }
+
+    /// Reconstructs a key from its `key ‖ nonce` wire form.
+    pub fn from_wire_bytes(wire: &[u8; Self::WIRE_SIZE]) -> Self {
+        let mut key = [0u8; 32];
+        let mut nonce = [0u8; 12];
+        key.copy_from_slice(&wire[..32]);
+        nonce.copy_from_slice(&wire[32..]);
+        PieceKey { key, nonce }
+    }
 }
 
 /// A donor's collection of minted-but-unreleased piece keys.
@@ -155,5 +173,14 @@ mod tests {
     fn wire_size_matches_space_overhead_model() {
         // §III-C3: 256-bit keys; our wire size also carries the 96-bit nonce.
         assert_eq!(PieceKey::WIRE_SIZE, 44);
+    }
+
+    #[test]
+    fn wire_bytes_roundtrip_preserves_keystream() {
+        let (_, k) = Keyring::new(7).mint();
+        let back = PieceKey::from_wire_bytes(&k.to_wire_bytes());
+        assert_eq!(back, k);
+        let data = b"piece bytes over the wire".to_vec();
+        assert_eq!(back.apply_to_vec(&k.apply_to_vec(&data)), data);
     }
 }

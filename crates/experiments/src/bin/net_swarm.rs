@@ -1,0 +1,15 @@
+//! Executable peer-runtime swarm (`tchain-net`) with a sim-vs-net
+//! cross-check. `--quick` / `--paper` flags or `TCHAIN_SCALE=quick|paper`.
+fn main() {
+    tchain_experiments::parse_jobs_args();
+    let mut scale = tchain_experiments::Scale::from_env();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quick" => scale = tchain_experiments::Scale::Quick,
+            "--paper" => scale = tchain_experiments::Scale::Paper,
+            _ => {}
+        }
+    }
+    println!("[net_swarm | scale: {}]", scale.name());
+    tchain_experiments::figures::net_swarm::run(scale);
+}

@@ -1,0 +1,268 @@
+//! Length-prefixed framing over the `proto::wire` control encoding.
+//!
+//! Every transport moves [`Frame`]s: either a control message (the Fig. 1
+//! protocol headers, §III-C-small by construction) or a [`Frame::PieceData`]
+//! bulk frame carrying a genuinely ChaCha20-encrypted piece. The stream
+//! layout is
+//!
+//! ```text
+//! [u32 body_len LE] [u8 kind] [body …]
+//! ```
+//!
+//! with `kind` 1 = control (body is a strict [`Message`] encoding) and
+//! `kind` 2 = piece data (`[u32 piece LE][payload]`). [`FrameDecoder`] is
+//! incremental — it accepts arbitrary byte fragments (as a TCP socket
+//! produces them) and yields complete frames — and strict: oversized
+//! lengths, unknown kinds and malformed control bodies are typed errors,
+//! never panics.
+
+use tchain_proto::wire::{DecodeError, Message, MAX_CIPHERTEXT_LEN};
+use tchain_proto::PieceId;
+
+/// Bytes of `[len][kind]` preceding every frame body.
+pub const FRAME_HEADER_LEN: usize = 5;
+
+/// Upper bound on a frame body: the ciphertext bound plus slack for the
+/// piece-data header and the largest control message.
+pub const MAX_FRAME_BODY: u32 = MAX_CIPHERTEXT_LEN + 1024;
+
+const KIND_CONTROL: u8 = 1;
+const KIND_PIECE_DATA: u8 = 2;
+
+/// One unit of transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A protocol control message.
+    Control(Message),
+    /// The encrypted (or, for a §II-B3 termination upload, plaintext)
+    /// bytes of one piece. Always preceded on the same link by the
+    /// [`Message::PieceUpload`] header that describes it.
+    PieceData {
+        /// Which piece the payload carries.
+        piece: PieceId,
+        /// The (usually encrypted) piece bytes.
+        payload: Vec<u8>,
+    },
+}
+
+/// Errors from the framing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeded [`MAX_FRAME_BODY`].
+    Oversized {
+        /// Declared body length.
+        got: u32,
+    },
+    /// Unknown frame kind byte.
+    UnknownKind(u8),
+    /// A control body failed strict decoding.
+    Control(DecodeError),
+    /// A piece-data body was shorter than its own header.
+    TruncatedBody,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { got } => {
+                write!(f, "frame body {got} exceeds bound {MAX_FRAME_BODY}")
+            }
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Control(e) => write!(f, "control frame: {e}"),
+            FrameError::TruncatedBody => write!(f, "piece-data body truncated"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> Self {
+        FrameError::Control(e)
+    }
+}
+
+impl Frame {
+    /// Appends the framed encoding (`[len][kind][body]`) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Control(msg) => {
+                let body = msg.encode();
+                out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                out.push(KIND_CONTROL);
+                out.extend_from_slice(&body);
+            }
+            Frame::PieceData { piece, payload } => {
+                out.extend_from_slice(&((payload.len() + 4) as u32).to_le_bytes());
+                out.push(KIND_PIECE_DATA);
+                out.extend_from_slice(&piece.0.to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+        }
+    }
+
+    /// The framed encoding as a fresh vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Exact framed size in bytes, header included.
+    pub fn encoded_len(&self) -> usize {
+        FRAME_HEADER_LEN
+            + match self {
+                Frame::Control(msg) => msg.encoded_len(),
+                Frame::PieceData { payload, .. } => 4 + payload.len(),
+            }
+    }
+}
+
+/// Incremental strict frame parser over a byte stream.
+///
+/// Internally a `Vec<u8>` with a consumed-prefix cursor, compacted
+/// lazily so sustained streams do not reallocate per frame.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed as frames.
+    head: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw stream bytes (e.g. one TCP read).
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact once the dead prefix dominates, amortized O(1).
+        if self.head > 4096 && self.head * 2 > self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Pops the next complete frame, `Ok(None)` when more bytes are
+    /// needed. After an `Err` the stream is corrupt and the caller should
+    /// drop the connection (strict framing has no resync point).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] on an oversized, unknown or malformed
+    /// frame.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.head..];
+        if avail.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if body_len > MAX_FRAME_BODY {
+            return Err(FrameError::Oversized { got: body_len });
+        }
+        let kind = avail[4];
+        if kind != KIND_CONTROL && kind != KIND_PIECE_DATA {
+            return Err(FrameError::UnknownKind(kind));
+        }
+        let total = FRAME_HEADER_LEN + body_len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let body = &avail[FRAME_HEADER_LEN..total];
+        let frame = match kind {
+            KIND_CONTROL => Frame::Control(Message::decode(body)?),
+            _ => {
+                if body.len() < 4 {
+                    return Err(FrameError::TruncatedBody);
+                }
+                let piece = PieceId(u32::from_le_bytes([body[0], body[1], body[2], body[3]]));
+                Frame::PieceData { piece, payload: body[4..].to_vec() }
+            }
+        };
+        self.head += total;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tchain_sim::NodeId;
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Control(Message::NeighborRequest { from: NodeId(9) }),
+            Frame::PieceData { piece: PieceId(3), payload: vec![0xAA; 257] },
+            Frame::Control(Message::ReceptionReport { requestor: NodeId(1), piece: PieceId(2) }),
+            Frame::PieceData { piece: PieceId(0), payload: Vec::new() },
+        ]
+    }
+
+    #[test]
+    fn stream_roundtrip_byte_at_a_time() {
+        let fs = frames();
+        let mut stream = Vec::new();
+        for f in &fs {
+            assert_eq!(f.encode().len(), f.encoded_len());
+            f.encode_into(&mut stream);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in stream {
+            dec.push(&[b]);
+            while let Some(f) = dec.next_frame().expect("clean stream") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, fs);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut dec = FrameDecoder::new();
+        let mut bytes = (MAX_FRAME_BODY + 1).to_le_bytes().to_vec();
+        bytes.push(KIND_CONTROL);
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame(), Err(FrameError::Oversized { got: MAX_FRAME_BODY + 1 }));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&[0, 0, 0, 0, 9]);
+        assert_eq!(dec.next_frame(), Err(FrameError::UnknownKind(9)));
+    }
+
+    #[test]
+    fn malformed_control_body_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&[1, 0, 0, 0, KIND_CONTROL, 200]);
+        assert!(matches!(dec.next_frame(), Err(FrameError::Control(DecodeError::UnknownTag(200)))));
+    }
+
+    #[test]
+    fn short_piece_body_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&[2, 0, 0, 0, KIND_PIECE_DATA, 1, 2]);
+        assert_eq!(dec.next_frame(), Err(FrameError::TruncatedBody));
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let f = Frame::PieceData { piece: PieceId(1), payload: vec![7; 100] };
+        let enc = f.encode();
+        let mut dec = FrameDecoder::new();
+        dec.push(&enc[..enc.len() - 1]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        dec.push(&enc[enc.len() - 1..]);
+        assert_eq!(dec.next_frame(), Ok(Some(f)));
+    }
+}

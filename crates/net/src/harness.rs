@@ -1,0 +1,677 @@
+//! Swarm-in-process harness: boot N peers on a [`Transport`], run the
+//! real protocol to completion, audit every frame.
+//!
+//! The harness owns the things a peer cannot see: the transport, the
+//! tracker rendezvous (`tchain-proto`), an event [`Tracer`]
+//! (`tchain-obs`), and — the point of the exercise — an [`Observer`]
+//! that watches every delivered frame and checks the T-Chain incentive
+//! invariant on the wire: **no key travels without a reciprocation
+//! behind it**. A `KeyRelease` from `S` to `T` for piece `p` is legal
+//! only when
+//!
+//! 1. the transaction `(S → T, p)` was reported by its designated payee
+//!    (the §II-B2 release, §II-D1 relays and duplicate re-sends), or
+//! 2. `T` is the designated payee of the unreported transaction
+//!    `(S → R, p)` named by the frame's escrow `requestor` marker — the
+//!    §II-B4 handoff of a departing donor, or
+//! 3. `S` holds such an escrow for a transaction `(D → T, p)` and `T`'s
+//!    reciprocation has been observed — the escrow release (marked with
+//!    `requestor = T`).
+//!
+//! Anything else is a violation and fails the run. The observer also
+//! reconstructs chains (an upload either opens one or extends the chain
+//! of the transaction it reciprocates) so chain-length statistics are
+//! comparable with the fluid simulator's.
+
+use crate::content::{fingerprint, mix64, Content};
+use crate::frame::Frame;
+use crate::runtime::{NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime};
+use crate::transport::{ChannelMesh, Delivery, NetError, Transport, TransportStats};
+use std::collections::BTreeMap;
+use tchain_obs::{Event, Tracer};
+use tchain_proto::Tracker;
+use tchain_proto::wire::Message;
+use tchain_sim::{FaultPlan, NodeId, SimRng};
+
+/// Scenario parameters for one swarm run.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// Total peers including the single seeder (id 0).
+    pub peers: u32,
+    /// How many of the highest-id leechers free-ride.
+    pub free_riders: u32,
+    /// Pieces in the shared file.
+    pub pieces: usize,
+    /// Bytes per piece.
+    pub piece_len: usize,
+    /// Master seed: content, per-peer RNG and keyrings fork from it.
+    pub seed: u64,
+    /// Peer-level protocol tunables.
+    pub net: NetConfig,
+    /// Fault plan for the mesh transport (loss/latency/partitions).
+    pub plan: FaultPlan,
+    /// Virtual seconds per tick (mesh transport).
+    pub tick_dt: f64,
+    /// Hard stop if the swarm has not drained by then.
+    pub max_ticks: u64,
+    /// Capacity of the obs event ring (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            peers: 8,
+            free_riders: 0,
+            pieces: 24,
+            piece_len: 1024,
+            seed: 42,
+            net: NetConfig::default(),
+            plan: FaultPlan::none(),
+            tick_dt: 1.0,
+            max_ticks: 4000,
+            trace_capacity: 4096,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TxnObs {
+    payee: Option<u32>,
+    reported: bool,
+    escrowed: bool,
+    chain: usize,
+}
+
+#[derive(Debug, Default)]
+struct ChainObs {
+    len: u32,
+    terminated: bool,
+}
+
+/// Frame-level audit of the incentive invariant.
+#[derive(Debug, Default)]
+pub struct Observer {
+    /// `(donor, requestor, piece) -> state`.
+    txns: BTreeMap<(u32, u32, u32), TxnObs>,
+    /// `(donor, piece, requestor)` reciprocations seen on the wire.
+    recips: BTreeMap<(u32, u32), Vec<u32>>,
+    /// Peers that left the swarm. A report delivered to a departed donor
+    /// must *not* mark its transaction reported: the donor never acted on
+    /// it, so its §II-B4 handoff of that key (racing the report on the
+    /// wire) is the legitimate — and only — release path.
+    departed: std::collections::BTreeSet<u32>,
+    chains: Vec<ChainObs>,
+    /// Human-readable invariant violations (must stay empty).
+    pub violations: Vec<String>,
+    /// Encrypted uploads seen.
+    pub uploads: u64,
+    /// §II-B3 unencrypted gift uploads seen.
+    pub gifts: u64,
+    /// Reception reports seen.
+    pub reports: u64,
+    /// Key releases seen.
+    pub key_releases: u64,
+    /// Key releases classified as §II-B4 escrow handoffs.
+    pub escrow_transfers: u64,
+}
+
+impl Observer {
+    fn observe(&mut self, d: &Delivery, tracer: &mut Tracer, now: f64) {
+        let (from, to) = (d.from.0, d.to.0);
+        let Frame::Control(msg) = &d.frame else { return };
+        match msg {
+            Message::PieceUpload { reciprocates, piece, payee, .. } => {
+                let p = piece.0;
+                let payee = payee.map(|n| n.0);
+                // Chain attribution: an upload either extends the chain
+                // of the transaction it reciprocates or opens a new one.
+                let chain = match reciprocates {
+                    Some((p0, d0)) => {
+                        let parent_key = (d0.0, from, p0.0);
+                        self.recips.entry((d0.0, p0.0)).or_default().push(from);
+                        if let Some(parent) = self.txns.get(&parent_key) {
+                            // Direct reciprocity: the donor is its own
+                            // payee, and this upload *is* the report
+                            // (unless the donor already left — then it
+                            // never learns of the reciprocation).
+                            if parent.payee == Some(d0.0)
+                                && d0.0 == to
+                                && !self.departed.contains(&to)
+                            {
+                                let c = parent.chain;
+                                self.txns.get_mut(&parent_key).expect("checked").reported = true;
+                                c
+                            } else {
+                                parent.chain
+                            }
+                        } else {
+                            self.new_chain()
+                        }
+                    }
+                    None => self.new_chain(),
+                };
+                if let Some(c) = self.chains.get_mut(chain) {
+                    c.len += 1;
+                }
+                match payee {
+                    Some(_) => {
+                        self.uploads += 1;
+                        self.txns.insert(
+                            (from, to, p),
+                            TxnObs { payee, reported: false, escrowed: false, chain },
+                        );
+                    }
+                    None => {
+                        // §II-B3 termination: no key, chain ends here.
+                        self.gifts += 1;
+                        if let Some(c) = self.chains.get_mut(chain) {
+                            c.terminated = true;
+                        }
+                    }
+                }
+                if tracer.is_enabled() {
+                    tracer.record(now, Event::TxnStart {
+                        txn: pack(from, to, p),
+                        chain: chain as u64,
+                        donor: from,
+                        requestor: to,
+                        payee,
+                        piece: p,
+                    });
+                }
+            }
+            Message::ReceptionReport { requestor, piece } => {
+                self.reports += 1;
+                if !self.departed.contains(&to) {
+                    if let Some(t) = self.txns.get_mut(&(to, requestor.0, piece.0)) {
+                        if t.payee == Some(from) {
+                            t.reported = true;
+                        }
+                    }
+                }
+                if tracer.is_enabled() {
+                    tracer.record(now, Event::ReportSent {
+                        txn: pack(to, requestor.0, piece.0),
+                        from,
+                        to,
+                        falsified: false,
+                    });
+                }
+            }
+            Message::KeyRelease { piece, requestor, .. } => {
+                let p = piece.0;
+                self.key_releases += 1;
+                let escrowed = self.classify_key(from, to, p, requestor.map(|r| r.0));
+                match escrowed {
+                    Some(true) => self.escrow_transfers += 1,
+                    Some(false) => {}
+                    None => {
+                        let ctx: Vec<String> = self
+                            .txns
+                            .iter()
+                            .filter(|((d, r, tp), _)| {
+                                *tp == p && (*d == from || *r == to || *d == to || *r == from)
+                            })
+                            .map(|((d, r, tp), t)| {
+                                format!(
+                                    "txn {d}->{r} p{tp} payee={:?} reported={} escrowed={}",
+                                    t.payee, t.reported, t.escrowed
+                                )
+                            })
+                            .collect();
+                        self.violations.push(format!(
+                            "unreciprocated key release {from} -> {to} piece {p} tag={:?} [{}]",
+                            requestor.map(|r| r.0),
+                            ctx.join("; ")
+                        ));
+                    }
+                }
+                if tracer.is_enabled() {
+                    tracer.record(now, Event::KeySent {
+                        txn: pack(from, to, p),
+                        from,
+                        to,
+                        escrowed: escrowed == Some(true),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies release rules 1–3 from the module docs. `Some(true)` means
+    /// an escrow-path release, `Some(false)` a normal one, `None` a
+    /// violation. The wire `requestor` marker pins the escrow rules to
+    /// one specific transaction — an untagged release is only ever legal
+    /// under rule 1.
+    fn classify_key(
+        &mut self,
+        from: u32,
+        to: u32,
+        piece: u32,
+        requestor: Option<u32>,
+    ) -> Option<bool> {
+        match requestor {
+            // Rule 1: the release closes a reported txn (from -> to).
+            None => self
+                .txns
+                .get(&(from, to, piece))
+                .is_some_and(|t| t.reported)
+                .then_some(false),
+            // Rule 2: a departing donor hands the key of its unreported
+            // txn `(from -> r, piece)` to that txn's payee `to`.
+            Some(r) if r != to => {
+                let t = self.txns.get_mut(&(from, r, piece))?;
+                if t.payee == Some(to) && !t.reported {
+                    t.escrowed = true;
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            // Rule 3: the payee `from` forwards an escrowed key to the
+            // requestor `to`, whose reciprocation has been seen.
+            Some(_) => {
+                let release = self.txns.iter().any(|((d, r, p), t)| {
+                    *r == to
+                        && *p == piece
+                        && t.payee == Some(from)
+                        && t.escrowed
+                        && self.recips.get(&(*d, *p)).is_some_and(|rs| rs.contains(&to))
+                });
+                release.then_some(true)
+            }
+        }
+    }
+
+    /// Records that `id` left the swarm; later frames addressed to it are
+    /// audited as delivered-but-unacted-on.
+    pub fn note_departed(&mut self, id: u32) {
+        self.departed.insert(id);
+    }
+
+    fn new_chain(&mut self) -> usize {
+        self.chains.push(ChainObs::default());
+        self.chains.len() - 1
+    }
+
+    /// Chains opened.
+    pub fn chains_started(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Mean transactions per chain.
+    pub fn mean_chain_len(&self) -> f64 {
+        if self.chains.is_empty() {
+            return 0.0;
+        }
+        self.chains.iter().map(|c| f64::from(c.len)).sum::<f64>() / self.chains.len() as f64
+    }
+
+    /// Longest chain observed.
+    pub fn max_chain_len(&self) -> u32 {
+        self.chains.iter().map(|c| c.len).max().unwrap_or(0)
+    }
+
+    /// Chains that ended in a §II-B3 unencrypted termination.
+    pub fn chains_terminated(&self) -> usize {
+        self.chains.iter().filter(|c| c.terminated).count()
+    }
+}
+
+fn pack(a: u32, b: u32, p: u32) -> u64 {
+    (u64::from(a) << 42) | (u64::from(b) << 21) | u64::from(p)
+}
+
+/// Outcome of one swarm run.
+#[derive(Debug)]
+pub struct SwarmReport {
+    /// Transport backend name.
+    pub backend: &'static str,
+    /// Peers in the run (including the seeder).
+    pub peers: u32,
+    /// Free-riding leechers.
+    pub free_riders: u32,
+    /// Pieces in the file.
+    pub pieces: usize,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Transport-clock seconds elapsed.
+    pub elapsed: f64,
+    /// Compliant leechers that completed the file.
+    pub completed_compliant: u32,
+    /// Compliant leechers in the scenario.
+    pub total_compliant: u32,
+    /// Free-riders that completed the file.
+    pub completed_free_riders: u32,
+    /// Every held piece on every peer matched the content byte-for-byte.
+    pub plaintext_ok: bool,
+    /// Invariant violations found by the observer (must be empty).
+    pub violations: Vec<String>,
+    /// Chains opened / mean length / max length / §II-B3 terminations.
+    pub chains_started: usize,
+    /// Mean transactions per chain.
+    pub mean_chain_len: f64,
+    /// Longest observed chain.
+    pub max_chain_len: u32,
+    /// Chains closed by unencrypted termination uploads.
+    pub chains_terminated: usize,
+    /// Encrypted uploads observed.
+    pub uploads: u64,
+    /// Unencrypted gift uploads observed.
+    pub gifts: u64,
+    /// Reception reports observed.
+    pub reports: u64,
+    /// Key releases observed.
+    pub key_releases: u64,
+    /// Key releases over the §II-B4 escrow path.
+    pub escrow_transfers: u64,
+    /// Transport delivery counters.
+    pub transport: TransportStats,
+    /// Order-sensitive digest of every delivered frame — two runs with
+    /// the same seed must agree bit-for-bit.
+    pub fingerprint: u64,
+    /// obs events recorded during the run.
+    pub events_recorded: u64,
+    /// `(peer id, completion time)` for every completed peer.
+    pub completion_times: Vec<(u32, f64)>,
+    /// Per-peer protocol counters, id-ordered.
+    pub peer_counters: Vec<(u32, PeerCounters)>,
+}
+
+impl SwarmReport {
+    /// `true` when the run satisfied every acceptance invariant: all
+    /// compliant leechers done, all plaintexts byte-identical, and zero
+    /// unreciprocated key releases.
+    pub fn ok(&self) -> bool {
+        self.completed_compliant == self.total_compliant
+            && self.plaintext_ok
+            && self.violations.is_empty()
+    }
+}
+
+/// N in-process peers over one transport.
+pub struct SwarmHarness<T: Transport> {
+    transport: T,
+    cfg: SwarmConfig,
+    content: Content,
+    peers: BTreeMap<u32, PeerRuntime>,
+    tracker: Tracker,
+    observer: Observer,
+    tracer: Tracer,
+    rng: SimRng,
+    fingerprint: u64,
+    departed_handled: BTreeMap<u32, ()>,
+}
+
+impl<T: Transport> SwarmHarness<T> {
+    /// Builds the swarm: seeder is id 0, free-riders take the highest
+    /// ids, everyone registers with transport and tracker.
+    pub fn new(mut transport: T, cfg: SwarmConfig) -> Result<Self, NetError> {
+        assert!(cfg.peers >= 2, "a swarm needs a seeder and a leecher");
+        assert!(cfg.free_riders < cfg.peers, "leave at least the seeder compliant");
+        let content = Content::new(cfg.seed ^ 0x0C04_7E47, cfg.pieces, cfg.piece_len);
+        let mut peers = BTreeMap::new();
+        let mut tracker = Tracker::new();
+        let arm = !transport.reliable();
+        for id in 0..cfg.peers {
+            let role = if id == 0 {
+                PeerRole::Seeder
+            } else if id >= cfg.peers - cfg.free_riders {
+                PeerRole::FreeRider
+            } else {
+                PeerRole::Compliant
+            };
+            let mut peer = PeerRuntime::new(NodeId(id), role, content, cfg.net, cfg.seed);
+            peer.set_arm_retries(arm);
+            transport.register(NodeId(id))?;
+            tracker.register(NodeId(id));
+            peers.insert(id, peer);
+        }
+        let tracer = if cfg.trace_capacity > 0 {
+            Tracer::with_capacity(cfg.trace_capacity)
+        } else {
+            Tracer::disabled()
+        };
+        let rng = SimRng::new(cfg.seed ^ 0x7A_C4E4);
+        Ok(SwarmHarness {
+            transport,
+            cfg,
+            content,
+            peers,
+            tracker,
+            observer: Observer::default(),
+            tracer,
+            rng,
+            fingerprint: 0x5EED_F00D,
+            departed_handled: BTreeMap::new(),
+        })
+    }
+
+    /// Runs the swarm to completion (all compliant leechers hold the
+    /// whole file) or to `max_ticks`, and audits the result.
+    pub fn run(mut self) -> Result<SwarmReport, NetError> {
+        // Tracker rendezvous + bitfield handshake.
+        let mut staged: Vec<(NodeId, NodeId, Frame)> = Vec::new();
+        let ids: Vec<u32> = self.peers.keys().copied().collect();
+        for &id in &ids {
+            let members =
+                self.tracker.random_members(NodeId(id), ids.len(), &mut self.rng);
+            let peer = self.peers.get_mut(&id).expect("registered");
+            let mut out: Outbox = Vec::new();
+            peer.bootstrap(&members, &mut out);
+            staged.extend(out.into_iter().map(|(to, f)| (NodeId(id), to, f)));
+        }
+        self.flush(staged)?;
+
+        let mut ticks = 0u64;
+        let mut grace = 0u32;
+        while ticks < self.cfg.max_ticks {
+            ticks += 1;
+            let deliveries = self.transport.advance()?;
+            let now = self.transport.now();
+            let mut staged: Vec<(NodeId, NodeId, Frame)> = Vec::new();
+            for d in deliveries {
+                self.observer.observe(&d, &mut self.tracer, now);
+                self.fold(&d);
+                if let Some(peer) = self.peers.get_mut(&d.to.0) {
+                    let mut out: Outbox = Vec::new();
+                    peer.on_frame(now, d.from, d.frame, &mut out);
+                    staged.extend(out.into_iter().map(|(to, f)| (d.to, to, f)));
+                }
+            }
+            for (&id, peer) in self.peers.iter_mut() {
+                let mut out: Outbox = Vec::new();
+                peer.on_tick(now, &mut out);
+                staged.extend(out.into_iter().map(|(to, f)| (NodeId(id), to, f)));
+            }
+            self.flush(staged)?;
+            self.handle_departures(now);
+            if self.compliant_done() {
+                // A few grace ticks drain in-flight frames so trailing
+                // key releases still pass under the observer's eye.
+                grace += 1;
+                if grace > 4 {
+                    break;
+                }
+            }
+        }
+
+        let plaintext_ok = self.plaintexts_ok();
+        let mut completion_times = Vec::new();
+        let mut peer_counters = Vec::new();
+        let mut completed_compliant = 0;
+        let mut total_compliant = 0;
+        let mut completed_free_riders = 0;
+        for (&id, p) in &self.peers {
+            if let Some(t) = p.completion_time() {
+                completion_times.push((id, t));
+            }
+            peer_counters.push((id, p.counters()));
+            match p.role() {
+                PeerRole::Compliant => {
+                    total_compliant += 1;
+                    if p.is_complete() {
+                        completed_compliant += 1;
+                    }
+                }
+                PeerRole::FreeRider => {
+                    if p.is_complete() {
+                        completed_free_riders += 1;
+                    }
+                }
+                PeerRole::Seeder => {}
+            }
+        }
+        Ok(SwarmReport {
+            backend: self.transport.backend(),
+            peers: self.cfg.peers,
+            free_riders: self.cfg.free_riders,
+            pieces: self.cfg.pieces,
+            ticks,
+            elapsed: self.transport.now(),
+            completed_compliant,
+            total_compliant,
+            completed_free_riders,
+            plaintext_ok,
+            violations: std::mem::take(&mut self.observer.violations),
+            chains_started: self.observer.chains_started(),
+            mean_chain_len: self.observer.mean_chain_len(),
+            max_chain_len: self.observer.max_chain_len(),
+            chains_terminated: self.observer.chains_terminated(),
+            uploads: self.observer.uploads,
+            gifts: self.observer.gifts,
+            reports: self.observer.reports,
+            key_releases: self.observer.key_releases,
+            escrow_transfers: self.observer.escrow_transfers,
+            transport: self.transport.stats(),
+            fingerprint: self.fingerprint,
+            events_recorded: self.tracer.emitted(),
+            completion_times,
+            peer_counters,
+        })
+    }
+
+    fn flush(&mut self, staged: Vec<(NodeId, NodeId, Frame)>) -> Result<(), NetError> {
+        for (from, to, frame) in staged {
+            match self.transport.send(from, to, frame) {
+                // A peer may address someone who already left the
+                // transport's view; that is a drop, not a failure.
+                Err(NetError::UnknownPeer(_)) => {}
+                other => other?,
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_departures(&mut self, now: f64) {
+        let departed: Vec<u32> = self
+            .peers
+            .iter()
+            .filter(|(id, p)| p.departed() && !self.departed_handled.contains_key(id))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in departed {
+            self.transport.disconnect(NodeId(id));
+            self.tracker.unregister(NodeId(id));
+            self.departed_handled.insert(id, ());
+            self.observer.note_departed(id);
+            if self.tracer.is_enabled() {
+                self.tracer.record(now, Event::PeerDepart { peer: id });
+            }
+            // The connection-reset every remaining peer would see: stop
+            // serving the departed peer and abandon transactions toward
+            // it (otherwise a donor keeps donating to a ghost and later
+            // escrows keys nobody can claim).
+            for (&pid, peer) in self.peers.iter_mut() {
+                if pid != id && !peer.departed() {
+                    peer.on_peer_gone(NodeId(id));
+                }
+            }
+        }
+    }
+
+    fn compliant_done(&self) -> bool {
+        self.peers
+            .values()
+            .filter(|p| p.role() == PeerRole::Compliant)
+            .all(|p| p.is_complete())
+    }
+
+    fn plaintexts_ok(&self) -> bool {
+        self.peers.values().all(|p| {
+            (0..self.content.pieces as u32).all(|i| match p.piece_bytes(i) {
+                Some(bytes) => bytes == self.content.piece(i).as_slice(),
+                None => true,
+            })
+        })
+    }
+
+    fn fold(&mut self, d: &Delivery) {
+        let enc = d.frame.encode();
+        self.fingerprint = mix64(
+            self.fingerprint
+                ^ fingerprint(&enc)
+                ^ (u64::from(d.from.0) << 32)
+                ^ u64::from(d.to.0),
+        );
+    }
+}
+
+/// Runs `cfg` on a fresh deterministic [`ChannelMesh`].
+///
+/// # Errors
+///
+/// Propagates any transport-level [`NetError`].
+pub fn run_swarm(cfg: SwarmConfig) -> Result<SwarmReport, NetError> {
+    let mesh = ChannelMesh::new(cfg.plan.clone(), cfg.tick_dt);
+    SwarmHarness::new(mesh, cfg)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_swarm_completes_cleanly() {
+        let report = run_swarm(SwarmConfig::default()).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.completed_compliant, report.total_compliant);
+        assert!(report.uploads > 0);
+        assert!(report.key_releases > 0);
+        assert!(report.events_recorded > 0, "obs tracing wired in");
+    }
+
+    #[test]
+    fn free_rider_is_starved() {
+        let cfg = SwarmConfig { free_riders: 1, ..SwarmConfig::default() };
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(
+            report.completed_free_riders, 0,
+            "free rider should not finish while compliant peers are active"
+        );
+    }
+
+    #[test]
+    fn departure_exercises_escrow() {
+        let cfg = SwarmConfig {
+            peers: 10,
+            net: NetConfig { depart_on_complete: true, ..NetConfig::default() },
+            ..SwarmConfig::default()
+        };
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint() {
+        let cfg = SwarmConfig { peers: 6, ..SwarmConfig::default() };
+        let a = run_swarm(cfg.clone()).expect("run a");
+        let b = run_swarm(cfg).expect("run b");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.completion_times, b.completion_times);
+    }
+}

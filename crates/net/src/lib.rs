@@ -1,0 +1,36 @@
+//! tchain-net: an executable T-Chain peer runtime.
+//!
+//! Everything below the fluid simulators actually *moves bytes*: a
+//! [`Transport`] abstraction with a deterministic in-process
+//! [`ChannelMesh`] (seeded loss/latency via `tchain-sim`'s fault plans)
+//! and a framed [`TcpLoopback`] backend over real sockets; a strict
+//! incremental framing layer ([`Frame`], [`FrameDecoder`]) carrying
+//! `tchain-proto` control messages plus bulk [`Frame::PieceData`] whose
+//! payloads are genuinely ChaCha20-encrypted with `tchain-crypto`
+//! per-transaction keys; a [`PeerRuntime`] state machine implementing
+//! the §II-B triangle protocol (payee designation, reciprocate-before-
+//! key, §II-B3 termination, §II-B4 escrow, §II-D1 forward
+//! re-encryption, §II-D2 flow control, §II-D3 opportunistic seeding);
+//! and a [`SwarmHarness`] that boots N peers in one process, runs a
+//! flash crowd to completion and audits every key release on the wire.
+//!
+//! The crate depends only on `tchain-{crypto,proto,sim,obs}` — the
+//! fluid drivers in `tchain-core` know nothing about it, which is what
+//! lets integration tests cross-check the two independently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod content;
+mod frame;
+mod harness;
+mod runtime;
+mod tcp;
+mod transport;
+
+pub use content::{fingerprint, Content};
+pub use frame::{Frame, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_BODY};
+pub use harness::{run_swarm, Observer, SwarmConfig, SwarmHarness, SwarmReport};
+pub use runtime::{NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime};
+pub use tcp::TcpLoopback;
+pub use transport::{ChannelMesh, Delivery, NetError, Transport, TransportStats};

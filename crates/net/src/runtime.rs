@@ -1,0 +1,1050 @@
+//! The executable T-Chain peer: a message-driven state machine.
+//!
+//! A [`PeerRuntime`] is pure with respect to its transport — the harness
+//! feeds it delivered frames ([`PeerRuntime::on_frame`]) and clock ticks
+//! ([`PeerRuntime::on_tick`]); the peer pushes outgoing `(to, frame)`
+//! pairs into an outbox. All protocol state of §II-B lives here:
+//!
+//! * **donor side** — initiation/opportunistic rounds bounded by upload
+//!   slots, payee designation (direct reciprocity §II-B2 first, then a
+//!   random interested neighbor, §II-B3 unencrypted termination when no
+//!   payee exists), the per-neighbor `k`-pending flow-control ledger of
+//!   §II-D2, key minting/release through `tchain-crypto`, and the PR 1
+//!   stall sweep that closes free-riding chains;
+//! * **requestor side** — ciphertext buffering, the reciprocate-before-
+//!   key obligation, §II-D1 newcomer bootstrapping by *forward
+//!   re-encryption* (a newcomer with no plaintext re-encrypts the very
+//!   ciphertext it just received under a fresh key and passes it on —
+//!   ChaCha20's XOR keystream commutes, so layered keys can be stripped
+//!   in any order), and hash-verified decryption against [`Content`];
+//! * **payee side** — reception reports with bounded exponential-backoff
+//!   retransmission on unreliable transports, and the §II-B4 escrow:
+//!   keys a departing donor hands over are held until the matching
+//!   reciprocation arrives, then forwarded to the requestor.
+//!
+//! Determinism: all iteration is over `BTreeMap`/sorted vectors and all
+//! randomness comes from a forked [`SimRng`], so a peer's behavior is a
+//! function of (seed, delivered frames, tick times) alone.
+
+use crate::content::{fingerprint, Content};
+use crate::frame::Frame;
+use std::collections::BTreeMap;
+use tchain_crypto::{KeyId, Keyring, PieceKey};
+use tchain_proto::wire::{Message, KEY_WIRE_SIZE};
+use tchain_proto::{Bitfield, PieceId};
+use tchain_sim::{NodeId, SimRng};
+
+/// Outgoing frames produced by one peer callback.
+pub type Outbox = Vec<(NodeId, Frame)>;
+
+/// What the peer does with the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerRole {
+    /// Holds the full file from t=0 and initiates chains (§II-B1).
+    Seeder,
+    /// Follows the protocol: reciprocates, reports, announces.
+    Compliant,
+    /// Downloads and hoards: never reciprocates, reports or serves.
+    FreeRider,
+}
+
+/// Tunables of the net runtime (the PR 1/fluid-driver parameters that
+/// survive the move from accounting to bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// §II-D2 flow-control bound: a neighbor with `k` un-reciprocated
+    /// pieces from us is neither served nor designated payee.
+    pub k_pending: u32,
+    /// Concurrent chain initiations a seeder keeps in flight (§II-B1).
+    pub seeder_slots: usize,
+    /// Chain initiations a completed leecher keeps in flight (§II-D3
+    /// opportunistic seeding).
+    pub opportunistic_slots: usize,
+    /// Seconds before a donor closes an un-reciprocated transaction
+    /// (free-riding stall, §IV-F) and a requestor abandons an
+    /// unfulfillable obligation.
+    pub stall_timeout: f64,
+    /// Seconds before the first report retransmission (unreliable
+    /// transports only).
+    pub retry_base: f64,
+    /// Multiplicative backoff between retransmissions.
+    pub retry_backoff: f64,
+    /// Report retransmission attempts before giving up.
+    pub max_retries: u32,
+    /// Leechers depart the moment they complete, handing §II-B4 escrow
+    /// keys to the designated payees.
+    pub depart_on_complete: bool,
+    /// Completed, non-departing leechers keep seeding (§II-D3).
+    pub opportunistic: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            k_pending: 2,
+            seeder_slots: 4,
+            opportunistic_slots: 1,
+            stall_timeout: 25.0,
+            retry_base: 2.0,
+            retry_backoff: 2.0,
+            max_retries: 4,
+            depart_on_complete: false,
+            opportunistic: true,
+        }
+    }
+}
+
+/// What a peer knows about a neighbor.
+#[derive(Debug)]
+struct Neighbor {
+    have: Bitfield,
+    /// `true` once an actual `Bitfield` message arrived (not a
+    /// placeholder from the tracker list or a `NeighborRequest`).
+    known: bool,
+}
+
+/// A transaction where this peer is the donor, keyed by
+/// `(requestor, piece)` in [`PeerRuntime::donor_txns`].
+#[derive(Debug)]
+struct DonorTxn {
+    payee: Option<u32>,
+    key_id: Option<KeyId>,
+    started: f64,
+    reported: bool,
+    /// Ciphertext source when this upload is a §II-D1 forward:
+    /// `(original donor, piece)` of our own pending entry.
+    source: Option<(u32, u32)>,
+    /// Underlying keys received for `source` before our own release was
+    /// unlocked; sent along with the minted key once reported.
+    pending_relay: Vec<[u8; KEY_WIRE_SIZE]>,
+    /// Every key wire blob sent to the requestor, for duplicate-report
+    /// re-sends (PR 1 key-loss recovery).
+    sent_keys: Vec<[u8; KEY_WIRE_SIZE]>,
+}
+
+/// An encrypted piece received but not yet decryptable, keyed by
+/// `(donor, piece)`.
+#[derive(Debug)]
+struct PendingPiece {
+    reciprocates: Option<(u32, u32)>,
+    payee: Option<u32>,
+    ciphertext_len: u32,
+    /// Working buffer: ciphertext with every received key applied.
+    work: Option<Vec<u8>>,
+    /// Fingerprints of applied keys (XOR self-inverts, so a re-applied
+    /// duplicate would *undo* decryption — dedupe is correctness here).
+    applied: Vec<u64>,
+    /// The forward transaction sourcing this entry, if we re-encrypted
+    /// and passed the ciphertext on (§II-D1): `(requestor, piece)` key
+    /// into `donor_txns`.
+    forward_txn: Option<(u32, u32)>,
+}
+
+/// A reciprocation owed: upload something to `payee` so the key for
+/// `(donor, piece)` gets released.
+#[derive(Debug)]
+struct Obligation {
+    donor: u32,
+    piece: u32,
+    payee: u32,
+    since: f64,
+    asked_neighbor: bool,
+}
+
+/// Escrowed keys held for one `(donor, piece)`: each entry pairs the
+/// requestor the key settles with the key bytes themselves.
+type EscrowedKeys = Vec<(u32, [u8; KEY_WIRE_SIZE])>;
+
+/// A payee's pending report retransmission.
+#[derive(Debug)]
+struct ReportRetry {
+    donor: u32,
+    requestor: u32,
+    piece: u32,
+    next_at: f64,
+    attempt: u32,
+}
+
+/// Per-peer counters surfaced in the swarm report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerCounters {
+    /// Pieces completed by hash-verified decryption.
+    pub decrypted: u64,
+    /// Pieces completed from §II-B3 unencrypted uploads.
+    pub unencrypted: u64,
+    /// Key releases sent (own mints, relays and escrow forwards).
+    pub keys_sent: u64,
+    /// Reception reports sent (first sends, not retries).
+    pub reports_sent: u64,
+    /// Report retransmissions fired.
+    pub report_retries: u64,
+    /// Transactions closed by the donor stall sweep.
+    pub stalled_txns: u64,
+    /// Keys escrowed to a payee at departure (§II-B4).
+    pub escrowed: u64,
+}
+
+/// The executable peer.
+#[derive(Debug)]
+pub struct PeerRuntime {
+    id: NodeId,
+    role: PeerRole,
+    cfg: NetConfig,
+    content: Content,
+    arm_retries: bool,
+    rng: SimRng,
+    keyring: Keyring,
+    have: Bitfield,
+    plain: Vec<Option<Vec<u8>>>,
+    neighbors: BTreeMap<u32, Neighbor>,
+    donor_txns: BTreeMap<(u32, u32), DonorTxn>,
+    active_donations: usize,
+    ledger: BTreeMap<u32, u32>,
+    pending_in: BTreeMap<(u32, u32), PendingPiece>,
+    obligations: Vec<Obligation>,
+    retries: Vec<ReportRetry>,
+    /// §II-B4 escrow held as payee: keys from a departed donor, keyed
+    /// `(donor, piece)` with the requestor each key is destined for
+    /// (from the handoff's `requestor` marker — one donor can have
+    /// several transactions for the same piece with different
+    /// requestors, and the keys are not interchangeable).
+    escrow: BTreeMap<(u32, u32), EscrowedKeys>,
+    /// Reciprocations observed as payee: `(donor, piece)` → every
+    /// requestor whose reciprocation we received, the lookup escrow
+    /// forwarding needs when keys arrive late.
+    recips_seen: BTreeMap<(u32, u32), std::collections::BTreeSet<u32>>,
+    /// `(requestor, piece)` gift uploads already sent (§II-B3), so the
+    /// donor round does not re-gift while data is in flight.
+    gifted: BTreeMap<(u32, u32), ()>,
+    complete_at: Option<f64>,
+    departed: bool,
+    counters: PeerCounters,
+}
+
+impl PeerRuntime {
+    /// Builds a peer. Seeders start with the full file; everyone else
+    /// starts empty.
+    pub fn new(id: NodeId, role: PeerRole, content: Content, cfg: NetConfig, seed: u64) -> Self {
+        let pieces = content.pieces;
+        let (have, plain) = if role == PeerRole::Seeder {
+            let mut plain = Vec::with_capacity(pieces);
+            for i in 0..pieces {
+                plain.push(Some(content.piece(i as u32)));
+            }
+            (Bitfield::full(pieces), plain)
+        } else {
+            (Bitfield::new(pieces), vec![None; pieces])
+        };
+        PeerRuntime {
+            id,
+            role,
+            cfg,
+            content,
+            arm_retries: false,
+            rng: SimRng::new(seed ^ u64::from(id.0).wrapping_mul(0x9E37_79B9)),
+            keyring: Keyring::new(seed ^ (u64::from(id.0) << 32) ^ 0x5EED),
+            have,
+            plain,
+            neighbors: BTreeMap::new(),
+            donor_txns: BTreeMap::new(),
+            active_donations: 0,
+            ledger: BTreeMap::new(),
+            pending_in: BTreeMap::new(),
+            obligations: Vec::new(),
+            retries: Vec::new(),
+            escrow: BTreeMap::new(),
+            recips_seen: BTreeMap::new(),
+            gifted: BTreeMap::new(),
+            complete_at: None,
+            departed: false,
+            counters: PeerCounters::default(),
+        }
+    }
+
+    /// Enables report retransmission timers (harness calls this when the
+    /// transport is unreliable; on reliable transports the retry path
+    /// stays cold, like the fluid drivers' fault-free fast path).
+    pub fn set_arm_retries(&mut self, arm: bool) {
+        self.arm_retries = arm;
+    }
+
+    /// This peer's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The peer's role.
+    pub fn role(&self) -> PeerRole {
+        self.role
+    }
+
+    /// `true` when every piece is held.
+    pub fn is_complete(&self) -> bool {
+        self.have.is_complete()
+    }
+
+    /// Transport time at which the file completed.
+    pub fn completion_time(&self) -> Option<f64> {
+        self.complete_at
+    }
+
+    /// `true` once the peer left the swarm (§II-B4 graceful departure).
+    pub fn departed(&self) -> bool {
+        self.departed
+    }
+
+    /// Pieces currently held.
+    pub fn have_count(&self) -> usize {
+        self.have.count()
+    }
+
+    /// The decrypted bytes of piece `i`, if held.
+    pub fn piece_bytes(&self, i: u32) -> Option<&[u8]> {
+        self.plain.get(i as usize).and_then(|p| p.as_deref())
+    }
+
+    /// Per-peer protocol counters.
+    pub fn counters(&self) -> PeerCounters {
+        self.counters
+    }
+
+    /// Handshake with an initial tracker membership list.
+    pub fn bootstrap(&mut self, members: &[NodeId], out: &mut Outbox) {
+        for &m in members {
+            if m == self.id {
+                continue;
+            }
+            self.neighbors
+                .entry(m.0)
+                .or_insert_with(|| Neighbor { have: Bitfield::new(self.content.pieces), known: false });
+            out.push((m, Frame::Control(Message::bitfield(&self.have))));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Frame handling
+    // ------------------------------------------------------------------
+
+    /// Processes one delivered frame.
+    pub fn on_frame(&mut self, now: f64, from: NodeId, frame: Frame, out: &mut Outbox) {
+        if self.departed {
+            return;
+        }
+        match frame {
+            Frame::Control(msg) => self.on_control(now, from, msg, out),
+            Frame::PieceData { piece, payload } => self.on_piece_data(now, from, piece, payload, out),
+        }
+    }
+
+    fn on_control(&mut self, now: f64, from: NodeId, msg: Message, out: &mut Outbox) {
+        match msg {
+            Message::Bitfield { pieces, bits } => {
+                if pieces as usize != self.content.pieces {
+                    return; // wrong swarm
+                }
+                let Some(bf) = Bitfield::from_packed_bytes(pieces as usize, &bits) else {
+                    return;
+                };
+                match self.neighbors.get_mut(&from.0) {
+                    Some(n) => {
+                        n.have = bf;
+                        n.known = true;
+                    }
+                    None => {
+                        self.neighbors.insert(from.0, Neighbor { have: bf, known: true });
+                        out.push((from, Frame::Control(Message::bitfield(&self.have))));
+                    }
+                }
+            }
+            Message::Have { piece } => {
+                if let Some(n) = self.neighbors.get_mut(&from.0) {
+                    if piece.index() < n.have.len() {
+                        n.have.set(piece);
+                    }
+                }
+            }
+            Message::NeighborRequest { from: who } => {
+                // §II-B1: a reciprocator introducing itself before serving
+                // us as payee. Learn it, tell it what we have.
+                let who = if who.0 == from.0 { who } else { from };
+                self.neighbors
+                    .entry(who.0)
+                    .or_insert_with(|| Neighbor { have: Bitfield::new(self.content.pieces), known: false });
+                out.push((who, Frame::Control(Message::bitfield(&self.have))));
+            }
+            Message::PieceUpload { reciprocates, piece, payee, ciphertext_len } => {
+                self.pending_in.insert(
+                    (from.0, piece.0),
+                    PendingPiece {
+                        reciprocates: reciprocates.map(|(p, d)| (p.0, d.0)),
+                        payee: payee.map(|p| p.0),
+                        ciphertext_len,
+                        work: None,
+                        applied: Vec::new(),
+                        forward_txn: None,
+                    },
+                );
+            }
+            Message::ReceptionReport { requestor, piece } => {
+                self.handle_report(now, from.0, requestor.0, piece.0, out);
+            }
+            Message::KeyRelease { piece, requestor, key } => {
+                self.on_key(now, from.0, piece.0, requestor.map(|r| r.0), key, out);
+            }
+        }
+    }
+
+    /// Bulk arrival: pair the payload with its header (FIFO links
+    /// guarantee header-first; an orphan payload means the header was
+    /// lost, and the stall machinery owns that case).
+    fn on_piece_data(&mut self, now: f64, from: NodeId, piece: PieceId, payload: Vec<u8>, out: &mut Outbox) {
+        let key = (from.0, piece.0);
+        let Some(entry) = self.pending_in.get_mut(&key) else {
+            return; // orphan data: header dropped by the lossy control plane
+        };
+        if entry.work.is_some() || payload.len() != entry.ciphertext_len as usize {
+            return; // duplicate or mangled
+        }
+        entry.work = Some(payload);
+        let reciprocates = entry.reciprocates;
+        let payee = entry.payee;
+
+        // Reception complete — if this upload reciprocates an earlier
+        // transaction, the §II-B2 step-3 report goes to that donor now.
+        // Even a free-riding payee reports: the §III-A2 cheat is refusing
+        // to *upload*, and a received ciphertext is only ever worth
+        // anything to the payee if its reception is on record (the fluid
+        // driver's free-riders report truthfully for the same reason).
+        if let Some((p0, d0)) = reciprocates {
+            self.recips_seen.entry((d0, p0)).or_default().insert(from.0);
+            if d0 == self.id.0 {
+                // Direct reciprocity (§II-B2): we are donor and payee
+                // in one; the report is internal.
+                self.handle_report(now, self.id.0, from.0, p0, out);
+            } else {
+                self.send_report(now, d0, from.0, p0, out);
+            }
+            // §II-B4: a departed donor's key may already sit in escrow.
+            self.try_escrow_forward(d0, p0, out);
+        }
+
+        match payee {
+            None => {
+                // §II-B3 termination upload: plaintext, no obligation.
+                let bytes = self.pending_in.remove(&key).and_then(|e| e.work);
+                if let Some(bytes) = bytes {
+                    if !self.have.has(piece) && self.content.verify(piece.0, &bytes) {
+                        self.counters.unencrypted += 1;
+                        self.complete_piece(now, piece.0, bytes, out);
+                    }
+                }
+            }
+            Some(p) => {
+                if self.role != PeerRole::FreeRider && !self.have.has(piece) {
+                    self.obligations.push(Obligation {
+                        donor: from.0,
+                        piece: piece.0,
+                        payee: p,
+                        since: now,
+                        asked_neighbor: false,
+                    });
+                } else if self.role != PeerRole::FreeRider {
+                    // Already hold the piece via another chain: still owe
+                    // the reciprocation (the donor is waiting).
+                    self.obligations.push(Obligation {
+                        donor: from.0,
+                        piece: piece.0,
+                        payee: p,
+                        since: now,
+                        asked_neighbor: false,
+                    });
+                }
+                // Free-riders hoard the ciphertext and do nothing.
+            }
+        }
+    }
+
+    /// Donor side of §II-B2 steps 3–4: a report unlocks the key release.
+    fn handle_report(&mut self, _now: f64, reporter: u32, requestor: u32, piece: u32, out: &mut Outbox) {
+        if self.role == PeerRole::FreeRider {
+            return;
+        }
+        let Some(txn) = self.donor_txns.get_mut(&(requestor, piece)) else {
+            return; // stale or forged
+        };
+        // Only the designated payee's word counts (§II-B: the payee is
+        // the witness the donor chose).
+        if txn.payee != Some(reporter) {
+            return;
+        }
+        if txn.reported {
+            // Duplicate report: the key (or its delivery) was lost —
+            // re-send everything released so far (PR 1 recovery).
+            let resend = txn.sent_keys.clone();
+            for k in resend {
+                self.counters.keys_sent += 1;
+                out.push((NodeId(requestor), Frame::Control(Message::KeyRelease {
+                    piece: PieceId(piece),
+                    requestor: None,
+                    key: k,
+                })));
+            }
+            return;
+        }
+        txn.reported = true;
+        let mut release: Vec<[u8; KEY_WIRE_SIZE]> = Vec::new();
+        if let Some(kid) = txn.key_id.take() {
+            if let Some(k) = self.keyring.release(kid) {
+                release.push(k.to_wire_bytes());
+            }
+        }
+        release.append(&mut txn.pending_relay);
+        for k in &release {
+            txn.sent_keys.push(*k);
+        }
+        for k in release {
+            self.counters.keys_sent += 1;
+            out.push((NodeId(requestor), Frame::Control(Message::KeyRelease {
+                piece: PieceId(piece),
+                requestor: None,
+                key: k,
+            })));
+        }
+        self.active_donations = self.active_donations.saturating_sub(1);
+        let pending = self.ledger.entry(requestor).or_insert(0);
+        *pending = pending.saturating_sub(1);
+    }
+
+    fn send_report(&mut self, now: f64, donor: u32, requestor: u32, piece: u32, out: &mut Outbox) {
+        self.counters.reports_sent += 1;
+        out.push((NodeId(donor), Frame::Control(Message::ReceptionReport {
+            requestor: NodeId(requestor),
+            piece: PieceId(piece),
+        })));
+        if self.arm_retries {
+            self.retries.push(ReportRetry {
+                donor,
+                requestor,
+                piece,
+                next_at: now + self.cfg.retry_base,
+                attempt: 0,
+            });
+        }
+    }
+
+    /// Key arrival: attribute the key to a pending entry, apply it
+    /// (deduped — XOR would self-invert), relay to a §II-D1 forward if
+    /// one sources this entry, verify, complete.
+    ///
+    /// Attribution by the `requestor` marker:
+    /// * `Some(r)`, `r ≠ self` — the §II-B4 handoff of a departing
+    ///   donor: we are the payee, the key belongs to its transaction
+    ///   with `r`; hold it in escrow until `r`'s reciprocation shows up;
+    /// * `Some(self)` — the payee's escrow *forward* of a departed
+    ///   donor's key: applied to the entry whose designated payee is
+    ///   the sender;
+    /// * `None` — the normal §II-B2 release or §II-D1 underlying-key
+    ///   relay, applied to the sender's own entry `(from, piece)`.
+    ///
+    /// A key matching no entry is a stale duplicate (the piece already
+    /// completed via another chain, or the header was lost and the
+    /// stall machinery owns the transaction) and is dropped.
+    fn on_key(
+        &mut self,
+        now: f64,
+        from: u32,
+        piece: u32,
+        requestor: Option<u32>,
+        key: [u8; KEY_WIRE_SIZE],
+        out: &mut Outbox,
+    ) {
+        let entry_key = match requestor {
+            Some(r) if r != self.id.0 => {
+                self.escrow.entry((from, piece)).or_default().push((r, key));
+                self.try_escrow_forward(from, piece, out);
+                return;
+            }
+            Some(_) => {
+                let forwarded = self
+                    .pending_in
+                    .iter()
+                    .find(|(&(_, p), e)| p == piece && e.payee == Some(from))
+                    .map(|(&k, _)| k);
+                match forwarded {
+                    Some(k) => k,
+                    None => return,
+                }
+            }
+            None => {
+                let k = (from, piece);
+                if !self.pending_in.contains_key(&k) {
+                    return;
+                }
+                k
+            }
+        };
+        let fp = fingerprint(&key);
+        let (verified, forward) = {
+            let entry = self.pending_in.get_mut(&entry_key).expect("checked");
+            if entry.applied.contains(&fp) {
+                return; // duplicate re-send
+            }
+            entry.applied.push(fp);
+            let mut verified = None;
+            if let Some(work) = entry.work.as_mut() {
+                PieceKey::from_wire_bytes(&key).apply(work);
+                if self.content.verify(piece, work) {
+                    verified = entry.work.take();
+                }
+            }
+            (verified, entry.forward_txn)
+        };
+        // §II-D1 relay: whoever holds our re-encrypted forward of this
+        // ciphertext needs every underlying key too — but keys only move
+        // on reported reciprocation, so queue until our txn unlocks.
+        if let Some(ft) = forward {
+            if let Some(txn) = self.donor_txns.get_mut(&ft) {
+                if txn.reported {
+                    txn.sent_keys.push(key);
+                    self.counters.keys_sent += 1;
+                    out.push((NodeId(ft.0), Frame::Control(Message::KeyRelease {
+                        piece: PieceId(ft.1),
+                        requestor: None,
+                        key,
+                    })));
+                } else {
+                    txn.pending_relay.push(key);
+                }
+            }
+        }
+        if let Some(bytes) = verified {
+            self.pending_in.remove(&entry_key);
+            self.counters.decrypted += 1;
+            self.complete_piece(now, piece, bytes, out);
+        }
+    }
+
+    /// §II-B4: forward every escrowed key for `(donor, piece)` whose
+    /// designated requestor has reciprocated; keys for requestors still
+    /// owing stay held.
+    fn try_escrow_forward(&mut self, donor: u32, piece: u32, out: &mut Outbox) {
+        if self.role == PeerRole::FreeRider {
+            return;
+        }
+        let Some(seen) = self.recips_seen.get(&(donor, piece)) else {
+            return;
+        };
+        let Some(held) = self.escrow.get_mut(&(donor, piece)) else {
+            return;
+        };
+        let mut fire = Vec::new();
+        held.retain(|&(r, k)| {
+            if seen.contains(&r) {
+                fire.push((r, k));
+                false
+            } else {
+                true
+            }
+        });
+        if held.is_empty() {
+            self.escrow.remove(&(donor, piece));
+        }
+        for (r, k) in fire {
+            self.counters.keys_sent += 1;
+            out.push((NodeId(r), Frame::Control(Message::KeyRelease {
+                piece: PieceId(piece),
+                requestor: Some(NodeId(r)),
+                key: k,
+            })));
+        }
+    }
+
+    fn complete_piece(&mut self, now: f64, piece: u32, bytes: Vec<u8>, out: &mut Outbox) {
+        if self.have.has(PieceId(piece)) {
+            return;
+        }
+        self.have.set(PieceId(piece));
+        self.plain[piece as usize] = Some(bytes);
+        if self.role != PeerRole::FreeRider {
+            let targets: Vec<u32> = self.neighbors.keys().copied().collect();
+            for t in targets {
+                out.push((NodeId(t), Frame::Control(Message::Have { piece: PieceId(piece) })));
+            }
+        }
+        if self.have.is_complete() && self.complete_at.is_none() {
+            self.complete_at = Some(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tick processing
+    // ------------------------------------------------------------------
+
+    /// One scheduler step: obligations, retries, stall sweep, donor
+    /// rounds, departure.
+    pub fn on_tick(&mut self, now: f64, out: &mut Outbox) {
+        if self.departed {
+            return;
+        }
+        if self.role != PeerRole::FreeRider {
+            self.process_obligations(now, out);
+            self.fire_retries(now, out);
+        }
+        self.stall_sweep(now);
+        let donating = self.role == PeerRole::Seeder
+            || (self.role == PeerRole::Compliant
+                && self.is_complete()
+                && self.cfg.opportunistic
+                && !self.cfg.depart_on_complete);
+        if donating {
+            self.donor_round(now, out);
+        }
+        if self.role == PeerRole::Compliant && self.is_complete() && self.cfg.depart_on_complete {
+            self.depart(out);
+        }
+    }
+
+    /// §II-B4 graceful departure: hand every key still awaiting its
+    /// reciprocation report to the designated payee, then leave.
+    fn depart(&mut self, out: &mut Outbox) {
+        let mut handoff: Vec<(u32, u32, u32, [u8; KEY_WIRE_SIZE])> = Vec::new();
+        for (&(requestor, piece), txn) in self.donor_txns.iter_mut() {
+            if txn.reported {
+                continue;
+            }
+            let Some(payee) = txn.payee else { continue };
+            if payee == self.id.0 {
+                continue;
+            }
+            if let Some(kid) = txn.key_id.take() {
+                if let Some(k) = self.keyring.release(kid) {
+                    handoff.push((payee, piece, requestor, k.to_wire_bytes()));
+                }
+            }
+            for k in txn.pending_relay.drain(..) {
+                handoff.push((payee, piece, requestor, k));
+            }
+        }
+        // The requestor marker tells the payee which transaction each
+        // key belongs to — it may be payee for several transactions of
+        // ours over the same piece, and must not forward a key to a
+        // requestor whose transaction used a different one.
+        for (payee, piece, requestor, key) in handoff {
+            self.counters.escrowed += 1;
+            out.push((NodeId(payee), Frame::Control(Message::KeyRelease {
+                piece: PieceId(piece),
+                requestor: Some(NodeId(requestor)),
+                key,
+            })));
+        }
+        self.departed = true;
+    }
+
+    /// Departure notice from the harness (the connection-reset a real
+    /// deployment would see): forget the neighbor and abandon state
+    /// that can no longer progress — transactions whose requestor is
+    /// gone (their uploads were dropped; handing their keys to a payee
+    /// at departure would circulate keys nobody can claim), obligations
+    /// owed to a gone payee, and report retries toward a gone donor.
+    pub fn on_peer_gone(&mut self, gone: NodeId) {
+        let gone = gone.0;
+        self.neighbors.remove(&gone);
+        let dead: Vec<(u32, u32)> = self
+            .donor_txns
+            .keys()
+            .filter(|&&(r, _)| r == gone)
+            .copied()
+            .collect();
+        for k in dead {
+            if let Some(mut txn) = self.donor_txns.remove(&k) {
+                if !txn.reported {
+                    if let Some(kid) = txn.key_id.take() {
+                        self.keyring.release(kid);
+                    }
+                    self.active_donations = self.active_donations.saturating_sub(1);
+                }
+                if let Some(src) = txn.source {
+                    if let Some(e) = self.pending_in.get_mut(&src) {
+                        e.forward_txn = None;
+                    }
+                }
+            }
+        }
+        self.ledger.remove(&gone);
+        self.obligations.retain(|ob| ob.payee != gone);
+        self.retries.retain(|r| r.donor != gone);
+    }
+
+    /// Works through owed reciprocations (§II-B2): a real piece the payee
+    /// wants if we have one, else the §II-D1 forward of the pending
+    /// ciphertext, else the §II-B3 unencrypted termination.
+    fn process_obligations(&mut self, now: f64, out: &mut Outbox) {
+        let mut keep = Vec::new();
+        let obligations = std::mem::take(&mut self.obligations);
+        for mut ob in obligations {
+            if now - ob.since > self.cfg.stall_timeout {
+                continue; // unfulfillable; the donor's sweep closes the chain
+            }
+            let payee_known = self.neighbors.get(&ob.payee).is_some_and(|n| n.known);
+            if !payee_known {
+                if !ob.asked_neighbor {
+                    // §II-B1 neighboring request before serving a payee
+                    // we have not met.
+                    self.neighbors.entry(ob.payee).or_insert_with(|| Neighbor {
+                        have: Bitfield::new(self.content.pieces),
+                        known: false,
+                    });
+                    out.push((NodeId(ob.payee), Frame::Control(Message::NeighborRequest {
+                        from: self.id,
+                    })));
+                    ob.asked_neighbor = true;
+                }
+                keep.push(ob);
+                continue;
+            }
+            if self.fulfill_obligation(now, &ob, out) {
+                continue;
+            }
+            keep.push(ob);
+        }
+        self.obligations = keep;
+    }
+
+    fn fulfill_obligation(&mut self, now: f64, ob: &Obligation, out: &mut Outbox) -> bool {
+        // Prefer a real piece the payee wants (§II-B2).
+        let payee_have = &self.neighbors[&ob.payee].have;
+        let wanted: Vec<u32> = payee_have
+            .missing_from(&self.have)
+            .map(|p| p.0)
+            .filter(|&p| self.plain[p as usize].is_some())
+            .collect();
+        if let Some(q) = self.rarest_of(&wanted) {
+            return self.donate(now, ob.payee, q, Some((ob.piece, ob.donor)), None, out);
+        }
+        // §II-D1 newcomer bootstrapping: forward the re-encrypted
+        // ciphertext of the very piece we owe for, if the payee wants it.
+        let entry_key = (ob.donor, ob.piece);
+        let entry_forwardable = self
+            .pending_in
+            .get(&entry_key)
+            .is_some_and(|e| e.work.is_some() && e.forward_txn.is_none());
+        let payee_wants_piece =
+            (ob.piece as usize) < payee_have.len() && !payee_have.has(PieceId(ob.piece));
+        if entry_forwardable && payee_wants_piece {
+            return self.donate(now, ob.payee, ob.piece, Some((ob.piece, ob.donor)), Some(entry_key), out);
+        }
+        false
+    }
+
+    /// Picks the rarest piece (availability across known neighbors, ties
+    /// to the lowest index) from `candidates`.
+    fn rarest_of(&self, candidates: &[u32]) -> Option<u32> {
+        candidates
+            .iter()
+            .copied()
+            .map(|p| {
+                let avail = self
+                    .neighbors
+                    .values()
+                    .filter(|n| n.known && n.have.has(PieceId(p)))
+                    .count();
+                (avail, p)
+            })
+            .min()
+            .map(|(_, p)| p)
+    }
+
+    /// Seeder/opportunistic chain initiation (§II-B1, §II-D3).
+    fn donor_round(&mut self, now: f64, out: &mut Outbox) {
+        let slots = if self.role == PeerRole::Seeder {
+            self.cfg.seeder_slots
+        } else {
+            self.cfg.opportunistic_slots
+        };
+        for _ in 0..slots {
+            if self.active_donations >= slots {
+                break;
+            }
+            // Interested neighbors under the §II-D2 ledger cap.
+            let mut cands: Vec<(u32, u32)> = Vec::new(); // (neighbor, piece)
+            for (&nid, n) in &self.neighbors {
+                if !n.known {
+                    continue;
+                }
+                if self.ledger.get(&nid).copied().unwrap_or(0) >= self.cfg.k_pending {
+                    continue;
+                }
+                let wants: Vec<u32> = n
+                    .have
+                    .missing_from(&self.have)
+                    .map(|p| p.0)
+                    .filter(|&p| {
+                        self.plain[p as usize].is_some()
+                            && !self.donor_txns.contains_key(&(nid, p))
+                            && !self.gifted.contains_key(&(nid, p))
+                    })
+                    .collect();
+                if let Some(p) = self.rarest_of(&wants) {
+                    cands.push((nid, p));
+                }
+            }
+            if cands.is_empty() {
+                break;
+            }
+            let &(r, p) = self.rng.choose(&cands).expect("nonempty");
+            if !self.donate(now, r, p, None, None, out) {
+                break;
+            }
+        }
+    }
+
+    /// Uploads piece `piece` to `to`: picks a payee (direct reciprocity
+    /// first, then a random eligible neighbor, §II-B3 unencrypted when
+    /// none), encrypts, and emits header + bulk data on the same link.
+    fn donate(
+        &mut self,
+        now: f64,
+        to: u32,
+        piece: u32,
+        reciprocates: Option<(u32, u32)>,
+        source: Option<(u32, u32)>,
+        out: &mut Outbox,
+    ) -> bool {
+        if self.donor_txns.contains_key(&(to, piece)) {
+            return false;
+        }
+        let payee = self.select_payee(to, piece);
+        let payload: Vec<u8> = if let Some(src) = source {
+            match self.pending_in.get(&src).and_then(|e| e.work.clone()) {
+                Some(w) => w,
+                None => return false,
+            }
+        } else {
+            match &self.plain[piece as usize] {
+                Some(p) => p.clone(),
+                None => return false,
+            }
+        };
+        let (payload, key_id) = match payee {
+            Some(_) => {
+                let (kid, k) = self.keyring.mint();
+                (k.apply_to_vec(&payload), Some(kid))
+            }
+            None if source.is_some() => return false, // cannot gift ciphertext
+            None => (payload, None),
+        };
+        let header = Message::PieceUpload {
+            reciprocates: reciprocates.map(|(p, d)| (PieceId(p), NodeId(d))),
+            piece: PieceId(piece),
+            payee: payee.map(NodeId),
+            ciphertext_len: payload.len() as u32,
+        };
+        out.push((NodeId(to), Frame::Control(header)));
+        out.push((NodeId(to), Frame::PieceData { piece: PieceId(piece), payload }));
+        match payee {
+            Some(_) => {
+                self.donor_txns.insert(
+                    (to, piece),
+                    DonorTxn {
+                        payee,
+                        key_id,
+                        started: now,
+                        reported: false,
+                        source,
+                        pending_relay: Vec::new(),
+                        sent_keys: Vec::new(),
+                    },
+                );
+                if let Some(src) = source {
+                    if let Some(e) = self.pending_in.get_mut(&src) {
+                        e.forward_txn = Some((to, piece));
+                    }
+                }
+                self.active_donations += 1;
+                *self.ledger.entry(to).or_insert(0) += 1;
+            }
+            None => {
+                self.gifted.insert((to, piece), ());
+            }
+        }
+        true
+    }
+
+    /// §II-B2 payee designation for an upload of `piece` to `to`.
+    fn select_payee(&mut self, to: u32, piece: u32) -> Option<u32> {
+        // Direct reciprocity: if the requestor has something we want,
+        // name ourselves payee (§II-B2).
+        if !self.is_complete() {
+            if let Some(n) = self.neighbors.get(&to) {
+                if n.known && self.have.wants_from(&n.have) {
+                    return Some(self.id.0);
+                }
+            }
+        }
+        let to_have = self.neighbors.get(&to).map(|n| n.have.clone());
+        let cands: Vec<u32> = self
+            .neighbors
+            .iter()
+            .filter(|&(&nid, n)| {
+                nid != to
+                    && nid != self.id.0
+                    && self.ledger.get(&nid).copied().unwrap_or(0) < self.cfg.k_pending
+                    && ((piece as usize) < n.have.len() && !n.have.has(PieceId(piece))
+                        || to_have.as_ref().is_some_and(|th| n.have.wants_from(th)))
+            })
+            .map(|(&nid, _)| nid)
+            .collect();
+        self.rng.choose(&cands).copied()
+    }
+
+    /// PR 1 stall sweep: close transactions whose reciprocation never
+    /// came (free-riding, §IV-F) and release their slots and ledger.
+    fn stall_sweep(&mut self, now: f64) {
+        let stalled: Vec<(u32, u32)> = self
+            .donor_txns
+            .iter()
+            .filter(|(_, t)| !t.reported && now - t.started > self.cfg.stall_timeout)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in stalled {
+            if let Some(mut txn) = self.donor_txns.remove(&key) {
+                if let Some(kid) = txn.key_id.take() {
+                    self.keyring.release(kid);
+                }
+                if let Some(src) = txn.source {
+                    if let Some(e) = self.pending_in.get_mut(&src) {
+                        e.forward_txn = None;
+                    }
+                }
+                self.active_donations = self.active_donations.saturating_sub(1);
+                let pending = self.ledger.entry(key.0).or_insert(0);
+                *pending = pending.saturating_sub(1);
+                self.counters.stalled_txns += 1;
+            }
+        }
+    }
+
+    /// Bounded exponential-backoff report retransmission (PR 1).
+    fn fire_retries(&mut self, now: f64, out: &mut Outbox) {
+        let mut due = Vec::new();
+        self.retries.retain_mut(|r| {
+            if now < r.next_at {
+                return true;
+            }
+            r.attempt += 1;
+            due.push((r.donor, r.requestor, r.piece));
+            if r.attempt >= self.cfg.max_retries {
+                return false;
+            }
+            r.next_at = now + self.cfg.retry_base * self.cfg.retry_backoff.powi(r.attempt as i32);
+            true
+        });
+        for (donor, requestor, piece) in due {
+            self.counters.report_retries += 1;
+            out.push((NodeId(donor), Frame::Control(Message::ReceptionReport {
+                requestor: NodeId(requestor),
+                piece: PieceId(piece),
+            })));
+        }
+    }
+}

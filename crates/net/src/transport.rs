@@ -1,0 +1,353 @@
+//! The [`Transport`] abstraction and its deterministic in-process backend.
+//!
+//! A transport moves [`Frame`]s between peers in discrete steps. The
+//! [`ChannelMesh`] backend is the simulation-grade one: delivery order is
+//! a total order over `(delivery time, enqueue sequence)` driven by a
+//! virtual tick clock, loss and latency come from `tchain-sim`'s
+//! [`FaultPlan`] (control frames share the PR 1 lossy-control-plane model;
+//! bulk piece data is reliable-but-delayed, like TCP under a lossy
+//! network), and each link is FIFO — a piece-upload header can never be
+//! overtaken by its own bulk data. Two meshes built from the same plan
+//! deliver byte-identical schedules.
+
+use crate::frame::{Frame, FrameError};
+use std::collections::{BTreeMap, BTreeSet};
+use tchain_sim::{DelayQueue, FaultPlan, FaultState, NodeId, Route};
+
+/// One delivered frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// The frame.
+    pub frame: Frame,
+}
+
+/// Errors surfaced by a transport backend.
+#[derive(Debug)]
+pub enum NetError {
+    /// The framing layer rejected a stream.
+    Frame(FrameError),
+    /// An OS-level I/O failure (TCP backend).
+    Io(std::io::Error),
+    /// A frame was addressed to a peer the transport has never seen.
+    UnknownPeer(NodeId),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Frame(e) => write!(f, "framing: {e}"),
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Delivery counters every backend keeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames accepted by `send`.
+    pub sent: u64,
+    /// Frames handed to recipients.
+    pub delivered: u64,
+    /// Frames lost (fault plan, disconnected recipient).
+    pub dropped: u64,
+    /// Payload bytes delivered (frame encodings, header included).
+    pub bytes_delivered: u64,
+}
+
+/// A step-driven frame mover.
+pub trait Transport {
+    /// Registers a peer endpoint. Must be called before frames are sent
+    /// to or from `id`.
+    fn register(&mut self, id: NodeId) -> Result<(), NetError>;
+
+    /// Queues one frame for delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] when the backend cannot accept the frame.
+    fn send(&mut self, from: NodeId, to: NodeId, frame: Frame) -> Result<(), NetError>;
+
+    /// Advances one step and returns the frames delivered during it, in
+    /// the backend's delivery order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] on a transport-level failure.
+    fn advance(&mut self) -> Result<Vec<Delivery>, NetError>;
+
+    /// Seconds elapsed on the backend's clock (virtual for the mesh,
+    /// wall for TCP).
+    fn now(&self) -> f64;
+
+    /// Marks a peer departed: *new* frames addressed to it are dropped.
+    /// Frames already in flight — in either direction — still deliver,
+    /// like bytes in the pipe of a closing connection: that is what lets
+    /// a §II-B4 escrow handoff escape a departing donor, and what keeps
+    /// the harness observer's ledger complete when a donation races a
+    /// departure within one tick.
+    fn disconnect(&mut self, id: NodeId);
+
+    /// Stable backend name for benches and reports.
+    fn backend(&self) -> &'static str;
+
+    /// `true` when control frames cannot be silently lost — peers skip
+    /// arming retransmission timers on reliable transports, mirroring the
+    /// fluid drivers' zero-cost fault-free path.
+    fn reliable(&self) -> bool;
+
+    /// Delivery counters.
+    fn stats(&self) -> TransportStats;
+}
+
+/// Deterministic in-process mesh with seeded loss/latency.
+#[derive(Debug)]
+pub struct ChannelMesh {
+    now: f64,
+    tick_dt: f64,
+    fault: FaultState,
+    queue: DelayQueue<Delivery>,
+    /// Per-link FIFO floor: no frame may deliver earlier than the last
+    /// frame queued on the same `(from, to)` link.
+    link_floor: BTreeMap<(u32, u32), f64>,
+    peers: BTreeSet<u32>,
+    gone: BTreeSet<u32>,
+    stats: TransportStats,
+}
+
+impl ChannelMesh {
+    /// A mesh advancing `tick_dt` virtual seconds per [`Transport::advance`],
+    /// with faults drawn from `plan`'s own seeded stream.
+    pub fn new(plan: FaultPlan, tick_dt: f64) -> Self {
+        assert!(tick_dt > 0.0, "tick_dt must be positive");
+        ChannelMesh {
+            now: 0.0,
+            tick_dt,
+            fault: FaultState::new(plan),
+            queue: DelayQueue::new(),
+            link_floor: BTreeMap::new(),
+            peers: BTreeSet::new(),
+            gone: BTreeSet::new(),
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// Frames currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn enqueue(&mut self, at: f64, d: Delivery) {
+        let key = (d.from.0, d.to.0);
+        // FIFO per link: clamp to the latest scheduled delivery, so a
+        // latency draw can delay but never reorder a link's stream.
+        let floor = self.link_floor.get(&key).copied().unwrap_or(0.0);
+        let at = at.max(floor).max(self.now + self.tick_dt);
+        self.link_floor.insert(key, at);
+        self.queue.push(at, d);
+    }
+}
+
+impl Transport for ChannelMesh {
+    fn register(&mut self, id: NodeId) -> Result<(), NetError> {
+        self.peers.insert(id.0);
+        Ok(())
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, frame: Frame) -> Result<(), NetError> {
+        if !self.peers.contains(&to.0) {
+            return Err(NetError::UnknownPeer(to));
+        }
+        self.stats.sent += 1;
+        if self.gone.contains(&to.0) {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        let route = match frame {
+            // Control plane: subject to the full fault model (loss,
+            // partition, latency) — the PR 1 assumption under test.
+            Frame::Control(_) => self.fault.route(from, to, self.now),
+            // Bulk data rides a reliable stream: delayed and
+            // partition-blocked, but never randomly lost.
+            Frame::PieceData { .. } => {
+                if self.fault.partitioned(from, to, self.now) {
+                    Route::Dropped
+                } else {
+                    Route::Now
+                }
+            }
+        };
+        match route {
+            Route::Dropped => {
+                self.stats.dropped += 1;
+            }
+            Route::Now => self.enqueue(self.now + self.tick_dt, Delivery { from, to, frame }),
+            Route::At(t) => self.enqueue(t, Delivery { from, to, frame }),
+        }
+        Ok(())
+    }
+
+    fn advance(&mut self) -> Result<Vec<Delivery>, NetError> {
+        self.now += self.tick_dt;
+        let mut out = Vec::new();
+        while let Some(d) = self.queue.pop_due(self.now) {
+            // Frames already in flight when the recipient departed still
+            // arrive (bytes in the pipe of a closing connection): the
+            // departed runtime ignores them, but the harness observer must
+            // see them — a same-tick donation toward a departing requestor
+            // is a transaction the §II-B4 handoff may legitimately name.
+            self.stats.delivered += 1;
+            self.stats.bytes_delivered += d.frame.encoded_len() as u64;
+            out.push(d);
+        }
+        Ok(out)
+    }
+
+    fn now(&self) -> f64 {
+        self.now
+    }
+
+    fn disconnect(&mut self, id: NodeId) {
+        self.gone.insert(id.0);
+    }
+
+    fn backend(&self) -> &'static str {
+        "channel_mesh"
+    }
+
+    fn reliable(&self) -> bool {
+        !self.fault.active()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tchain_proto::wire::Message;
+    use tchain_proto::PieceId;
+    use tchain_sim::LatencyModel;
+
+    fn ctrl(p: u32) -> Frame {
+        Frame::Control(Message::Have { piece: PieceId(p) })
+    }
+
+    #[test]
+    fn delivers_next_tick_in_fifo_order() {
+        let mut m = ChannelMesh::new(FaultPlan::none(), 0.1);
+        m.register(NodeId(1)).unwrap();
+        m.register(NodeId(2)).unwrap();
+        assert!(m.reliable());
+        for p in 0..5 {
+            m.send(NodeId(1), NodeId(2), ctrl(p)).unwrap();
+        }
+        let got = m.advance().unwrap();
+        assert_eq!(got.len(), 5);
+        for (p, d) in got.iter().enumerate() {
+            assert_eq!(d.frame, ctrl(p as u32));
+        }
+        assert!(m.advance().unwrap().is_empty());
+        assert_eq!(m.stats().delivered, 5);
+    }
+
+    #[test]
+    fn unknown_recipient_is_an_error() {
+        let mut m = ChannelMesh::new(FaultPlan::none(), 0.1);
+        m.register(NodeId(1)).unwrap();
+        assert!(matches!(
+            m.send(NodeId(1), NodeId(9), ctrl(0)),
+            Err(NetError::UnknownPeer(NodeId(9)))
+        ));
+    }
+
+    #[test]
+    fn latency_never_reorders_a_link() {
+        let plan = FaultPlan { seed: 3, ..FaultPlan::none() }
+            .with_latency(LatencyModel::Uniform { lo: 0.0, hi: 2.0 });
+        let mut m = ChannelMesh::new(plan, 0.1);
+        m.register(NodeId(1)).unwrap();
+        m.register(NodeId(2)).unwrap();
+        for p in 0..50 {
+            m.send(NodeId(1), NodeId(2), ctrl(p)).unwrap();
+        }
+        let mut seen = Vec::new();
+        for _ in 0..100 {
+            for d in m.advance().unwrap() {
+                if let Frame::Control(Message::Have { piece }) = d.frame {
+                    seen.push(piece.0);
+                }
+            }
+        }
+        assert_eq!(seen, (0..50).collect::<Vec<_>>(), "per-link FIFO");
+    }
+
+    #[test]
+    fn bulk_data_survives_control_loss() {
+        let mut m = ChannelMesh::new(FaultPlan::lossy(5, 1.0), 0.1);
+        m.register(NodeId(1)).unwrap();
+        m.register(NodeId(2)).unwrap();
+        assert!(!m.reliable());
+        m.send(NodeId(1), NodeId(2), ctrl(0)).unwrap();
+        m.send(NodeId(1), NodeId(2), Frame::PieceData { piece: PieceId(0), payload: vec![1] })
+            .unwrap();
+        let got = m.advance().unwrap();
+        assert_eq!(got.len(), 1, "control dropped, data delivered");
+        assert!(matches!(got[0].frame, Frame::PieceData { .. }));
+        assert_eq!(m.stats().dropped, 1);
+    }
+
+    #[test]
+    fn disconnect_drops_inbound_only() {
+        let mut m = ChannelMesh::new(FaultPlan::none(), 0.1);
+        for i in 1..=3 {
+            m.register(NodeId(i)).unwrap();
+        }
+        // 2's outgoing frame is already queued when it departs.
+        m.send(NodeId(2), NodeId(3), ctrl(7)).unwrap();
+        m.disconnect(NodeId(2));
+        m.send(NodeId(1), NodeId(2), ctrl(0)).unwrap();
+        let got = m.advance().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].to, NodeId(3), "escrow-style goodbye still delivers");
+    }
+
+    #[test]
+    fn same_plan_same_schedule() {
+        let plan = FaultPlan::lossy(11, 0.3).with_latency(LatencyModel::Exp { mean: 0.4 });
+        let run = || {
+            let mut m = ChannelMesh::new(plan.clone(), 0.1);
+            m.register(NodeId(1)).unwrap();
+            m.register(NodeId(2)).unwrap();
+            let mut log = Vec::new();
+            for i in 0..40 {
+                m.send(NodeId(1), NodeId(2), ctrl(i)).unwrap();
+                for d in m.advance().unwrap() {
+                    log.push((m.now().to_bits(), format!("{:?}", d.frame)));
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+}

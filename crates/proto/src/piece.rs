@@ -204,6 +204,41 @@ impl Bitfield {
         debug_assert_eq!(self.len, other.len);
         self.words.iter().zip(other.words.iter()).map(|(&a, &b)| (a ^ b).count_ones() as usize).sum()
     }
+
+    /// Packs the bitfield into `ceil(len/8)` LSB-first bytes — the payload
+    /// of a `wire::Message::Bitfield` handshake frame.
+    pub fn to_packed_bytes(&self) -> Vec<u8> {
+        let nbytes = self.len.div_ceil(8);
+        let mut out = Vec::with_capacity(nbytes);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.truncate(nbytes);
+        out
+    }
+
+    /// Rebuilds a bitfield from its packed form. Returns `None` when the
+    /// byte count does not match `len` or a padding bit past `len` is set
+    /// (a non-canonical — and therefore rejected — encoding).
+    pub fn from_packed_bytes(len: usize, bytes: &[u8]) -> Option<Bitfield> {
+        if bytes.len() != len.div_ceil(8) {
+            return None;
+        }
+        let mut bf = Bitfield::new(len);
+        for (i, &b) in bytes.iter().enumerate() {
+            let mut rest = b;
+            while rest != 0 {
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let idx = i * 8 + bit;
+                if idx >= len {
+                    return None;
+                }
+                bf.set(PieceId(idx as u32));
+            }
+        }
+        Some(bf)
+    }
 }
 
 struct BitIter {
@@ -320,6 +355,30 @@ mod tests {
         assert_eq!(a.difference(&b), 3);
         assert_eq!(b.difference(&a), 3);
         assert_eq!(a.difference(&a), 0);
+    }
+
+    #[test]
+    fn packed_bytes_roundtrip() {
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 130] {
+            let mut b = Bitfield::new(len);
+            for i in (0..len).step_by(3) {
+                b.set(PieceId(i as u32));
+            }
+            let packed = b.to_packed_bytes();
+            assert_eq!(packed.len(), len.div_ceil(8));
+            assert_eq!(Bitfield::from_packed_bytes(len, &packed), Some(b));
+        }
+    }
+
+    #[test]
+    fn packed_bytes_reject_padding_and_length() {
+        // Wrong byte count.
+        assert_eq!(Bitfield::from_packed_bytes(9, &[0xFF]), None);
+        // Padding bit beyond len=9 set (bit 9 of the second byte's range).
+        assert_eq!(Bitfield::from_packed_bytes(9, &[0x00, 0x02]), None);
+        // Canonical full bitfield survives.
+        let full = Bitfield::full(9);
+        assert_eq!(Bitfield::from_packed_bytes(9, &full.to_packed_bytes()), Some(full));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! client needs a concrete encoding of Fig. 1's messages — and §III-C's
 //! overhead argument rests on reports and keys being tiny next to 64 KB
 //! pieces. This module pins those sizes down: a fixed little-endian
-//! header plus payload, with strict parsing (trailing bytes rejected).
+//! header plus payload, with strict parsing — trailing bytes, oversized
+//! length fields and non-canonical flag bytes are all rejected with a
+//! typed [`DecodeError`], never a panic.
 //!
 //! Layout (all integers little-endian):
 //!
@@ -13,14 +15,26 @@
 //! [1..]    per-message fields (see each variant)
 //! ```
 
-use crate::PieceId;
+use crate::{Bitfield, PieceId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tchain_sim::NodeId;
 
-/// Size in bytes of a key-release payload (256-bit key + 96-bit nonce).
-pub const KEY_WIRE_SIZE: usize = 44;
+/// Size in bytes of a key-release payload (256-bit key + 96-bit nonce),
+/// derived from the crypto crate's key/nonce sizes so the wire format can
+/// never drift from the cipher.
+pub const KEY_WIRE_SIZE: usize = tchain_crypto::PieceKey::WIRE_SIZE;
 
-/// A T-Chain control message (Fig. 1, Table I).
+/// Upper bound on `ciphertext_len` a decoder will accept: 16 MiB, far
+/// above the paper's 64–256 KB pieces but small enough that a hostile
+/// header cannot make a receiver reserve gigabytes.
+pub const MAX_CIPHERTEXT_LEN: u32 = 16 * 1024 * 1024;
+
+/// Upper bound on the piece count a [`Message::Bitfield`] may declare
+/// (2^20 pieces of 64 KB is a 64 GiB file — beyond any scenario here).
+pub const MAX_BITFIELD_PIECES: u32 = 1 << 20;
+
+/// A T-Chain control message (Fig. 1, Table I) plus the availability
+/// gossip (`Have`/`Bitfield`) the §II-A swarm mechanics assume.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// `[(i(j−1), D_{j−1}) | K[p_ij] | P_j]` — an (encrypted) piece
@@ -45,10 +59,19 @@ pub enum Message {
         /// The piece the report covers.
         piece: PieceId,
     },
-    /// The donor's key release to the requestor.
+    /// The donor's key release to the requestor, or — when `requestor`
+    /// is set — a §II-B4 escrow message: a departing donor entrusting
+    /// the key for its transaction *with that requestor* to the payee,
+    /// or the payee forwarding it once the reciprocation arrives.
+    /// Without the marker a payee holding keys for several transactions
+    /// of the same `(donor, piece)` could not tell them apart.
     KeyRelease {
         /// The piece the key decrypts.
         piece: PieceId,
+        /// The requestor of the transaction the key belongs to, for
+        /// escrow handoffs/forwards; `None` for a direct release (the
+        /// recipient *is* the requestor).
+        requestor: Option<NodeId>,
         /// Raw key material (key ‖ nonce).
         key: [u8; KEY_WIRE_SIZE],
     },
@@ -58,12 +81,28 @@ pub enum Message {
         /// The requesting peer.
         from: NodeId,
     },
+    /// Availability gossip: the sender completed (and, under T-Chain,
+    /// decrypted) one piece.
+    Have {
+        /// The newly completed piece.
+        piece: PieceId,
+    },
+    /// Handshake/availability gossip: the sender's full piece set, packed
+    /// LSB-first with zero padding bits (non-canonical padding rejected).
+    Bitfield {
+        /// Total number of pieces in the file.
+        pieces: u32,
+        /// `ceil(pieces/8)` packed bytes.
+        bits: Vec<u8>,
+    },
 }
 
 const TAG_PIECE_UPLOAD: u8 = 1;
 const TAG_RECEPTION_REPORT: u8 = 2;
 const TAG_KEY_RELEASE: u8 = 3;
 const TAG_NEIGHBOR_REQUEST: u8 = 4;
+const TAG_HAVE: u8 = 5;
+const TAG_BITFIELD: u8 = 6;
 
 /// Errors from [`Message::decode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +113,18 @@ pub enum DecodeError {
     UnknownTag(u8),
     /// Bytes remained after a complete message.
     TrailingBytes(usize),
+    /// A length field exceeded its protocol bound.
+    Oversized {
+        /// Which field overflowed.
+        field: &'static str,
+        /// The declared value.
+        got: u64,
+        /// The protocol bound it violated.
+        max: u64,
+    },
+    /// A non-canonical encoding: a flag byte other than 0/1, or a set
+    /// padding bit in a bitfield.
+    Malformed(&'static str),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -82,13 +133,30 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "message truncated"),
             DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            DecodeError::Oversized { field, got, max } => {
+                write!(f, "{field} = {got} exceeds protocol bound {max}")
+            }
+            DecodeError::Malformed(what) => write!(f, "malformed message: {what}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
+fn get_flag(buf: &mut &[u8]) -> Result<bool, DecodeError> {
+    match buf.get_u8() {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(DecodeError::Malformed("flag byte must be 0 or 1")),
+    }
+}
+
 impl Message {
+    /// Builds a [`Message::Bitfield`] from a piece set.
+    pub fn bitfield(bf: &Bitfield) -> Message {
+        Message::Bitfield { pieces: bf.len() as u32, bits: bf.to_packed_bytes() }
+    }
+
     /// Encodes the message into a fresh buffer.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(self.encoded_len());
@@ -118,14 +186,30 @@ impl Message {
                 b.put_u32_le(requestor.0);
                 b.put_u32_le(piece.0);
             }
-            Message::KeyRelease { piece, ref key } => {
+            Message::KeyRelease { piece, requestor, ref key } => {
                 b.put_u8(TAG_KEY_RELEASE);
                 b.put_u32_le(piece.0);
+                match requestor {
+                    Some(r) => {
+                        b.put_u8(1);
+                        b.put_u32_le(r.0);
+                    }
+                    None => b.put_u8(0),
+                }
                 b.put_slice(key);
             }
             Message::NeighborRequest { from } => {
                 b.put_u8(TAG_NEIGHBOR_REQUEST);
                 b.put_u32_le(from.0);
+            }
+            Message::Have { piece } => {
+                b.put_u8(TAG_HAVE);
+                b.put_u32_le(piece.0);
+            }
+            Message::Bitfield { pieces, ref bits } => {
+                b.put_u8(TAG_BITFIELD);
+                b.put_u32_le(pieces);
+                b.put_slice(bits);
             }
         }
         b.freeze()
@@ -143,12 +227,17 @@ impl Message {
                     + 4
             }
             Message::ReceptionReport { .. } => 1 + 8,
-            Message::KeyRelease { .. } => 1 + 4 + KEY_WIRE_SIZE,
+            Message::KeyRelease { requestor, .. } => {
+                1 + 4 + 1 + if requestor.is_some() { 4 } else { 0 } + KEY_WIRE_SIZE
+            }
             Message::NeighborRequest { .. } => 1 + 4,
+            Message::Have { .. } => 1 + 4,
+            Message::Bitfield { bits, .. } => 1 + 4 + bits.len(),
         }
     }
 
-    /// Decodes a message, rejecting truncated or over-long buffers.
+    /// Decodes a message, rejecting truncated, over-long, oversized or
+    /// non-canonical buffers.
     ///
     /// # Errors
     ///
@@ -166,7 +255,7 @@ impl Message {
         let msg = match tag {
             TAG_PIECE_UPLOAD => {
                 need(buf, 1)?;
-                let reciprocates = if buf.get_u8() == 1 {
+                let reciprocates = if get_flag(&mut buf)? {
                     need(buf, 8)?;
                     Some((PieceId(buf.get_u32_le()), NodeId(buf.get_u32_le())))
                 } else {
@@ -175,7 +264,7 @@ impl Message {
                 need(buf, 4)?;
                 let piece = PieceId(buf.get_u32_le());
                 need(buf, 1)?;
-                let payee = if buf.get_u8() == 1 {
+                let payee = if get_flag(&mut buf)? {
                     need(buf, 4)?;
                     Some(NodeId(buf.get_u32_le()))
                 } else {
@@ -183,6 +272,13 @@ impl Message {
                 };
                 need(buf, 4)?;
                 let ciphertext_len = buf.get_u32_le();
+                if ciphertext_len > MAX_CIPHERTEXT_LEN {
+                    return Err(DecodeError::Oversized {
+                        field: "ciphertext_len",
+                        got: u64::from(ciphertext_len),
+                        max: u64::from(MAX_CIPHERTEXT_LEN),
+                    });
+                }
                 Message::PieceUpload { reciprocates, piece, payee, ciphertext_len }
             }
             TAG_RECEPTION_REPORT => {
@@ -193,15 +289,47 @@ impl Message {
                 }
             }
             TAG_KEY_RELEASE => {
-                need(buf, 4 + KEY_WIRE_SIZE)?;
+                need(buf, 5)?;
                 let piece = PieceId(buf.get_u32_le());
+                let requestor = if get_flag(&mut buf)? {
+                    need(buf, 4)?;
+                    Some(NodeId(buf.get_u32_le()))
+                } else {
+                    None
+                };
+                need(buf, KEY_WIRE_SIZE)?;
                 let mut key = [0u8; KEY_WIRE_SIZE];
                 buf.copy_to_slice(&mut key);
-                Message::KeyRelease { piece, key }
+                Message::KeyRelease { piece, requestor, key }
             }
             TAG_NEIGHBOR_REQUEST => {
                 need(buf, 4)?;
                 Message::NeighborRequest { from: NodeId(buf.get_u32_le()) }
+            }
+            TAG_HAVE => {
+                need(buf, 4)?;
+                Message::Have { piece: PieceId(buf.get_u32_le()) }
+            }
+            TAG_BITFIELD => {
+                need(buf, 4)?;
+                let pieces = buf.get_u32_le();
+                if pieces > MAX_BITFIELD_PIECES {
+                    return Err(DecodeError::Oversized {
+                        field: "bitfield pieces",
+                        got: u64::from(pieces),
+                        max: u64::from(MAX_BITFIELD_PIECES),
+                    });
+                }
+                let nbytes = (pieces as usize).div_ceil(8);
+                need(buf, nbytes)?;
+                let mut bits = vec![0u8; nbytes];
+                buf.copy_to_slice(&mut bits);
+                // Reject set padding bits so every piece set has exactly
+                // one encoding (Bitfield::from_packed_bytes re-checks).
+                if Bitfield::from_packed_bytes(pieces as usize, &bits).is_none() {
+                    return Err(DecodeError::Malformed("bitfield padding bits set"));
+                }
+                Message::Bitfield { pieces, bits }
             }
             t => return Err(DecodeError::UnknownTag(t)),
         };
@@ -219,7 +347,7 @@ mod tests {
     fn roundtrip(m: Message) {
         let enc = m.encode();
         assert_eq!(enc.len(), m.encoded_len());
-        assert_eq!(Message::decode(&enc).unwrap(), m);
+        assert_eq!(Message::decode(&enc).expect("decode"), m);
     }
 
     #[test]
@@ -237,8 +365,28 @@ mod tests {
             ciphertext_len: 65536,
         });
         roundtrip(Message::ReceptionReport { requestor: NodeId(1), piece: PieceId(2) });
-        roundtrip(Message::KeyRelease { piece: PieceId(3), key: [0xAB; KEY_WIRE_SIZE] });
+        roundtrip(Message::KeyRelease {
+            piece: PieceId(3),
+            requestor: None,
+            key: [0xAB; KEY_WIRE_SIZE],
+        });
+        roundtrip(Message::KeyRelease {
+            piece: PieceId(3),
+            requestor: Some(NodeId(8)),
+            key: [0xCD; KEY_WIRE_SIZE],
+        });
         roundtrip(Message::NeighborRequest { from: NodeId(42) });
+        roundtrip(Message::Have { piece: PieceId(17) });
+        let mut bf = Bitfield::new(21);
+        bf.set(PieceId(0));
+        bf.set(PieceId(20));
+        roundtrip(Message::bitfield(&bf));
+    }
+
+    #[test]
+    fn key_wire_size_tracks_crypto_crate() {
+        assert_eq!(KEY_WIRE_SIZE, tchain_crypto::PieceKey::WIRE_SIZE);
+        assert_eq!(KEY_WIRE_SIZE, 44);
     }
 
     #[test]
@@ -246,7 +394,11 @@ mod tests {
         // §III-C2: "the reception report and the key uploaded are very
         // small in size compared to file pieces".
         let report = Message::ReceptionReport { requestor: NodeId(1), piece: PieceId(2) };
-        let key = Message::KeyRelease { piece: PieceId(3), key: [0; KEY_WIRE_SIZE] };
+        let key = Message::KeyRelease {
+            piece: PieceId(3),
+            requestor: Some(NodeId(7)),
+            key: [0; KEY_WIRE_SIZE],
+        };
         let piece_bytes = 64.0 * 1024.0;
         assert!((report.encoded_len() as f64) < piece_bytes * 0.001);
         assert!((key.encoded_len() as f64) < piece_bytes * 0.001);
@@ -254,7 +406,11 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        let m = Message::KeyRelease { piece: PieceId(3), key: [1; KEY_WIRE_SIZE] };
+        let m = Message::KeyRelease {
+            piece: PieceId(3),
+            requestor: Some(NodeId(4)),
+            key: [1; KEY_WIRE_SIZE],
+        };
         let enc = m.encode();
         for cut in 0..enc.len() {
             assert_eq!(Message::decode(&enc[..cut]), Err(DecodeError::Truncated), "cut={cut}");
@@ -275,9 +431,70 @@ mod tests {
     }
 
     #[test]
+    fn oversized_ciphertext_rejected() {
+        let mut enc = Message::PieceUpload {
+            reciprocates: None,
+            piece: PieceId(1),
+            payee: None,
+            ciphertext_len: 0,
+        }
+        .encode()
+        .to_vec();
+        let n = enc.len();
+        enc[n - 4..].copy_from_slice(&(MAX_CIPHERTEXT_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            Message::decode(&enc),
+            Err(DecodeError::Oversized { field: "ciphertext_len", .. })
+        ));
+        // The bound itself is accepted.
+        enc[n - 4..].copy_from_slice(&MAX_CIPHERTEXT_LEN.to_le_bytes());
+        assert!(Message::decode(&enc).is_ok());
+    }
+
+    #[test]
+    fn oversized_bitfield_rejected() {
+        let mut enc = vec![6u8];
+        enc.extend_from_slice(&(MAX_BITFIELD_PIECES + 1).to_le_bytes());
+        assert!(matches!(
+            Message::decode(&enc),
+            Err(DecodeError::Oversized { field: "bitfield pieces", .. })
+        ));
+    }
+
+    #[test]
+    fn noncanonical_flag_rejected() {
+        let mut enc = Message::PieceUpload {
+            reciprocates: None,
+            piece: PieceId(1),
+            payee: None,
+            ciphertext_len: 8,
+        }
+        .encode()
+        .to_vec();
+        enc[1] = 2; // reciprocates flag must be 0/1
+        assert_eq!(Message::decode(&enc), Err(DecodeError::Malformed("flag byte must be 0 or 1")));
+    }
+
+    #[test]
+    fn bitfield_padding_bits_rejected() {
+        let mut enc = vec![6u8];
+        enc.extend_from_slice(&9u32.to_le_bytes());
+        enc.extend_from_slice(&[0x00, 0x02]); // bit 9 set, but pieces = 9
+        assert_eq!(Message::decode(&enc), Err(DecodeError::Malformed("bitfield padding bits set")));
+    }
+
+    #[test]
     fn decode_error_display() {
         assert_eq!(DecodeError::Truncated.to_string(), "message truncated");
         assert_eq!(DecodeError::UnknownTag(9).to_string(), "unknown message tag 9");
         assert_eq!(DecodeError::TrailingBytes(2).to_string(), "2 trailing bytes after message");
+        assert_eq!(
+            DecodeError::Oversized { field: "ciphertext_len", got: 99, max: 10 }.to_string(),
+            "ciphertext_len = 99 exceeds protocol bound 10"
+        );
+        assert_eq!(
+            DecodeError::Malformed("bad").to_string(),
+            "malformed message: bad"
+        );
     }
 }

@@ -1,0 +1,150 @@
+//! Property tests for the `proto::wire` codec: every well-formed
+//! [`Message`] round-trips byte-exactly, and no byte string — random,
+//! mutated, or truncated — can make the strict decoder panic; it may
+//! only return a typed [`DecodeError`].
+//!
+//! Strategies stay within the basic proptest vocabulary (ranges,
+//! `any`, `collection::vec`, `option::of`) and messages are assembled
+//! from sampled primitives inside the test body.
+
+use proptest::prelude::*;
+use tchain_proto::wire::{DecodeError, Message, KEY_WIRE_SIZE, MAX_CIPHERTEXT_LEN};
+use tchain_proto::{Bitfield, PieceId};
+use tchain_sim::NodeId;
+
+/// Builds one message variant (picked by `kind`) from sampled fields,
+/// spanning the full accepted range of each: ciphertext_len up to its
+/// protocol bound, bitfields of 0..200 pieces in canonical packed form.
+#[allow(clippy::too_many_arguments)]
+fn build_message(
+    kind: u32,
+    a: u32,
+    b: u32,
+    rec: Option<(u32, u32)>,
+    opt: Option<u32>,
+    len: u32,
+    bits: &[bool],
+    key_bytes: &[u8],
+) -> Message {
+    let mut key = [0u8; KEY_WIRE_SIZE];
+    key.copy_from_slice(&key_bytes[..KEY_WIRE_SIZE]);
+    match kind % 6 {
+        0 => Message::PieceUpload {
+            reciprocates: rec.map(|(p, d)| (PieceId(p), NodeId(d))),
+            piece: PieceId(a),
+            payee: opt.map(NodeId),
+            ciphertext_len: len % (MAX_CIPHERTEXT_LEN + 1),
+        },
+        1 => Message::ReceptionReport { requestor: NodeId(a), piece: PieceId(b) },
+        2 => Message::KeyRelease { piece: PieceId(a), requestor: opt.map(NodeId), key },
+        3 => Message::NeighborRequest { from: NodeId(a) },
+        4 => Message::Have { piece: PieceId(a) },
+        _ => {
+            let mut bf = Bitfield::new(bits.len());
+            for (i, s) in bits.iter().enumerate() {
+                if *s {
+                    bf.set(PieceId(i as u32));
+                }
+            }
+            Message::bitfield(&bf)
+        }
+    }
+}
+
+proptest! {
+    /// encode → decode is the identity, and `encoded_len` is exact.
+    #[test]
+    fn roundtrip_identity(
+        kind in 0u32..6,
+        a in any::<u32>(),
+        b in any::<u32>(),
+        rec in proptest::option::of((any::<u32>(), any::<u32>())),
+        opt in proptest::option::of(any::<u32>()),
+        len in any::<u32>(),
+        bits in proptest::collection::vec(any::<bool>(), 0..200),
+        key_bytes in proptest::collection::vec(any::<u8>(), KEY_WIRE_SIZE),
+    ) {
+        let m = build_message(kind, a, b, rec, opt, len, &bits, &key_bytes);
+        let enc = m.encode();
+        prop_assert_eq!(enc.len(), m.encoded_len());
+        prop_assert_eq!(Message::decode(&enc), Ok(m));
+    }
+
+    /// Arbitrary byte soup never panics the decoder — it either parses
+    /// (re-encoding to the same canonical bytes) or errors.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        // Strict parsing means accepted bytes ARE the canonical
+        // encoding: exactly one byte string per message value.
+        if let Ok(m) = Message::decode(&bytes) {
+            prop_assert_eq!(m.encode().as_ref(), &bytes[..]);
+        }
+    }
+
+    /// A single mutated byte in a valid encoding never panics; if it
+    /// still parses, it parses strictly (canonical re-encode).
+    #[test]
+    fn mutated_encodings_never_panic(
+        kind in 0u32..6,
+        a in any::<u32>(),
+        b in any::<u32>(),
+        rec in proptest::option::of((any::<u32>(), any::<u32>())),
+        opt in proptest::option::of(any::<u32>()),
+        len in any::<u32>(),
+        bits in proptest::collection::vec(any::<bool>(), 0..200),
+        key_bytes in proptest::collection::vec(any::<u8>(), KEY_WIRE_SIZE),
+        idx in any::<usize>(),
+        xor in 1u32..256,
+    ) {
+        let m = build_message(kind, a, b, rec, opt, len, &bits, &key_bytes);
+        let mut enc = m.encode().to_vec();
+        if !enc.is_empty() {
+            let i = idx % enc.len();
+            enc[i] ^= xor as u8;
+            if let Ok(dm) = Message::decode(&enc) {
+                prop_assert_eq!(dm.encode().as_ref(), &enc[..]);
+            }
+        }
+    }
+
+    /// Every strict prefix of a valid encoding is rejected as truncated
+    /// (or, for an empty prefix, simply rejected) — never accepted.
+    #[test]
+    fn prefixes_rejected(
+        kind in 0u32..6,
+        a in any::<u32>(),
+        b in any::<u32>(),
+        rec in proptest::option::of((any::<u32>(), any::<u32>())),
+        opt in proptest::option::of(any::<u32>()),
+        len in any::<u32>(),
+        bits in proptest::collection::vec(any::<bool>(), 0..200),
+        key_bytes in proptest::collection::vec(any::<u8>(), KEY_WIRE_SIZE),
+        frac in 0.0f64..1.0,
+    ) {
+        let m = build_message(kind, a, b, rec, opt, len, &bits, &key_bytes);
+        let enc = m.encode();
+        let cut = ((enc.len() as f64) * frac) as usize;
+        if cut < enc.len() {
+            prop_assert_eq!(Message::decode(&enc[..cut]), Err(DecodeError::Truncated));
+        }
+    }
+
+    /// Appending junk to a valid encoding is always rejected.
+    #[test]
+    fn suffixes_rejected(
+        kind in 0u32..6,
+        a in any::<u32>(),
+        b in any::<u32>(),
+        rec in proptest::option::of((any::<u32>(), any::<u32>())),
+        opt in proptest::option::of(any::<u32>()),
+        len in any::<u32>(),
+        bits in proptest::collection::vec(any::<bool>(), 0..200),
+        key_bytes in proptest::collection::vec(any::<u8>(), KEY_WIRE_SIZE),
+        junk in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let m = build_message(kind, a, b, rec, opt, len, &bits, &key_bytes);
+        let mut enc = m.encode().to_vec();
+        enc.extend_from_slice(&junk);
+        prop_assert!(Message::decode(&enc).is_err());
+    }
+}

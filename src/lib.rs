@@ -1,8 +1,9 @@
 //! Umbrella crate re-exporting the full T-Chain reproduction workspace.
 //!
 //! See the individual crates for details:
-//! [`sim`], [`crypto`], [`proto`], [`core`], [`baselines`], [`attacks`],
-//! [`workloads`], [`metrics`], [`analysis`], [`experiments`].
+//! [`sim`], [`crypto`], [`proto`], [`core`], [`net`], [`baselines`],
+//! [`attacks`], [`workloads`], [`metrics`], [`analysis`],
+//! [`experiments`].
 
 pub use tchain_analysis as analysis;
 pub use tchain_attacks as attacks;
@@ -11,6 +12,7 @@ pub use tchain_core as core;
 pub use tchain_crypto as crypto;
 pub use tchain_experiments as experiments;
 pub use tchain_metrics as metrics;
+pub use tchain_net as net;
 pub use tchain_proto as proto;
 pub use tchain_sim as sim;
 pub use tchain_workloads as workloads;

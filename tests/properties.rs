@@ -103,8 +103,9 @@ proptest! {
 }
 
 proptest! {
-    /// Wire codec: every structurally valid message round-trips, and no
-    /// prefix of an encoding parses.
+    /// Wire codec: every structurally valid message round-trips, no
+    /// prefix of an encoding parses, and an out-of-bounds ciphertext
+    /// length is rejected by the strict decoder.
     #[test]
     fn wire_roundtrip(
         recip in proptest::option::of((any::<u32>(), any::<u32>())),
@@ -112,19 +113,28 @@ proptest! {
         payee in proptest::option::of(any::<u32>()),
         len in any::<u32>(),
     ) {
-        use tchain::proto::wire::Message;
+        use tchain::proto::wire::{Message, MAX_CIPHERTEXT_LEN};
         use tchain::proto::PieceId;
         use tchain::sim::NodeId;
         let m = Message::PieceUpload {
             reciprocates: recip.map(|(p, d)| (PieceId(p), NodeId(d))),
             piece: PieceId(piece),
             payee: payee.map(NodeId),
-            ciphertext_len: len,
+            ciphertext_len: len % (MAX_CIPHERTEXT_LEN + 1),
         };
         let enc = m.encode();
         prop_assert_eq!(Message::decode(&enc).unwrap(), m);
         for cut in 0..enc.len() {
             prop_assert!(Message::decode(&enc[..cut]).is_err());
+        }
+        if len > MAX_CIPHERTEXT_LEN {
+            let oversized = Message::PieceUpload {
+                reciprocates: None,
+                piece: PieceId(piece),
+                payee: None,
+                ciphertext_len: len,
+            };
+            prop_assert!(Message::decode(&oversized.encode()).is_err());
         }
     }
 
