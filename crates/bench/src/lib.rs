@@ -223,6 +223,65 @@ pub fn write_net_summary() -> std::io::Result<std::path::PathBuf> {
     Ok(p)
 }
 
+/// Runs one chaos scenario through the net harness and returns its JSON
+/// record: wall clock, tick count, injection/reject/quarantine totals
+/// and whether every safety property held.
+fn chaos_scenario_json(name: &str, chaos: tchain_sim::ChaosPlan) -> String {
+    let cfg = tchain_net::SwarmConfig {
+        peers: 8,
+        seed: 0xC4A0,
+        chaos,
+        max_ticks: 20_000,
+        ..tchain_net::SwarmConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let report = tchain_net::run_swarm(cfg).expect("channel mesh cannot fail");
+    let secs = start.elapsed().as_secs_f64();
+    let safe = report.completed_compliant == report.total_compliant
+        && report.plaintext_ok
+        && report.violations.is_empty();
+    format!(
+        "{{\"scenario\":\"{name}\",\"wall_clock_s\":{secs:.6},\"ticks\":{},\"chaos_injects\":{},\"frame_rejects\":{},\"quarantines\":{},\"crashes\":{},\"rejoins\":{},\"safe\":{safe}}}",
+        report.ticks,
+        report.chaos_injects,
+        report.frame_rejects,
+        report.quarantines,
+        report.crashes,
+        report.rejoins,
+    )
+}
+
+/// Measures the chaos layer end to end: a clean control run, sustained
+/// 5 % frame corruption, the full byzantine taxonomy at 8 %, and a
+/// crash-restart of a quarter of the leechers — each an audited swarm on
+/// the channel mesh. The `safe` flag per scenario is the headline: chaos
+/// must cost ticks, never correctness. Returns the machine-readable
+/// `BENCH_chaos.json` payload (hand-formatted, no serde).
+pub fn chaos_summary_json() -> String {
+    use tchain_sim::ChaosPlan;
+    let scenarios = [
+        chaos_scenario_json("clean", ChaosPlan::none()),
+        chaos_scenario_json("corrupt-5pct", ChaosPlan::corrupting(0xC4A1, 0.05)),
+        chaos_scenario_json("byzantine-8pct", ChaosPlan::byzantine(0xC4A2, 0.08)),
+        chaos_scenario_json(
+            "crash-restart-25pct",
+            ChaosPlan::corrupting(0xC4A3, 0.02).with_crash_restart(8.0, 0.25, 6.0),
+        ),
+    ];
+    format!("{{\"scenarios\":[{}]}}\n", scenarios.join(","))
+}
+
+/// Writes [`chaos_summary_json`] to `BENCH_chaos.json` in the workspace
+/// root (next to the other bench trajectories).
+pub fn write_chaos_summary() -> std::io::Result<std::path::PathBuf> {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("BENCH_chaos.json");
+    std::fs::write(&p, chaos_summary_json())?;
+    Ok(p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +319,21 @@ mod tests {
         // Refresh the committed trajectory whenever the suite runs.
         let path = write_net_summary().expect("write BENCH_net.json");
         assert!(path.ends_with("BENCH_net.json"));
+    }
+
+    #[test]
+    fn chaos_summary_populates_bench_trajectory() {
+        let json = chaos_summary_json();
+        // Every scenario — including byzantine injection and
+        // crash-restart — must preserve the safety properties.
+        assert!(!json.contains("\"safe\":false"), "a chaos scenario went unsafe: {json}");
+        assert!(json.contains("\"scenario\":\"crash-restart-25pct\""));
+        // The chaotic legs must actually inject, and the clean leg not.
+        assert!(json.contains("\"chaos_injects\":0,"), "clean control leg: {json}");
+        assert!(json.contains("\"quarantines\":"), "strike policy reported: {json}");
+        // Refresh the committed trajectory whenever the suite runs.
+        let path = write_chaos_summary().expect("write BENCH_chaos.json");
+        assert!(path.ends_with("BENCH_chaos.json"));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Length-prefixed framing over the `proto::wire` control encoding.
+//! Length-prefixed, checksummed framing over the `proto::wire` control
+//! encoding.
 //!
 //! Every transport moves [`Frame`]s: either a control message (the Fig. 1
 //! protocol headers, §III-C-small by construction) or a [`Frame::PieceData`]
@@ -6,21 +7,29 @@
 //! layout is
 //!
 //! ```text
-//! [u32 body_len LE] [u8 kind] [body …]
+//! [u32 body_len LE] [u8 kind] [u32 checksum LE] [body …]
 //! ```
 //!
 //! with `kind` 1 = control (body is a strict [`Message`] encoding) and
-//! `kind` 2 = piece data (`[u32 piece LE][payload]`). [`FrameDecoder`] is
-//! incremental — it accepts arbitrary byte fragments (as a TCP socket
-//! produces them) and yields complete frames — and strict: oversized
-//! lengths, unknown kinds and malformed control bodies are typed errors,
-//! never panics.
+//! `kind` 2 = piece data (`[u32 piece LE][payload]`). The checksum is
+//! FNV-1a over `kind` and the body (see [`frame_checksum`]); it exists
+//! because byzantine corruption of some payloads — a flipped bit in a
+//! `KeyRelease` key, say — would otherwise be *silently absorbed* into a
+//! requestor's XOR work buffer and could never be detected or undone. With
+//! the checksum, any mutation of bytes in flight surfaces as a typed
+//! [`FrameError`], letting the receiver reject the frame, strike the
+//! sender, and recover through normal re-donation paths.
+//!
+//! [`FrameDecoder`] is incremental — it accepts arbitrary byte fragments
+//! (as a TCP socket produces them) and yields complete frames — and
+//! strict: oversized lengths, unknown kinds, checksum mismatches and
+//! malformed control bodies are typed errors, never panics.
 
 use tchain_proto::wire::{DecodeError, Message, MAX_CIPHERTEXT_LEN};
 use tchain_proto::PieceId;
 
-/// Bytes of `[len][kind]` preceding every frame body.
-pub const FRAME_HEADER_LEN: usize = 5;
+/// Bytes of `[len][kind][checksum]` preceding every frame body.
+pub const FRAME_HEADER_LEN: usize = 9;
 
 /// Upper bound on a frame body: the ciphertext bound plus slack for the
 /// piece-data header and the largest control message.
@@ -28,6 +37,28 @@ pub const MAX_FRAME_BODY: u32 = MAX_CIPHERTEXT_LEN + 1024;
 
 const KIND_CONTROL: u8 = 1;
 const KIND_PIECE_DATA: u8 = 2;
+
+/// FNV-1a over the kind byte followed by the body bytes.
+///
+/// Not cryptographic — a byzantine *adversary* is modelled at the protocol
+/// layer (free-riders, whitewashers), not the codec. The checksum's job is
+/// to make in-flight mutation (bit flips, truncation splices) detectable
+/// with near certainty so it can be handled as an explicit reject instead
+/// of silent state corruption.
+pub fn frame_checksum(kind: u8, body: &[u8]) -> u32 {
+    const OFFSET: u32 = 0x811c_9dc5;
+    let h = fnv1a_step(OFFSET, &[kind]);
+    fnv1a_step(h, body)
+}
+
+#[inline]
+fn fnv1a_step(mut h: u32, bytes: &[u8]) -> u32 {
+    const PRIME: u32 = 0x0100_0193;
+    for &b in bytes {
+        h = (h ^ u32::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
 
 /// One unit of transmission.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,10 +86,19 @@ pub enum FrameError {
     },
     /// Unknown frame kind byte.
     UnknownKind(u8),
+    /// The header checksum did not match the received body.
+    ChecksumMismatch {
+        /// Checksum declared in the header.
+        expected: u32,
+        /// Checksum computed over the received kind + body.
+        got: u32,
+    },
     /// A control body failed strict decoding.
     Control(DecodeError),
     /// A piece-data body was shorter than its own header.
     TruncatedBody,
+    /// The stream ended (connection reset) inside a frame.
+    TruncatedStream,
 }
 
 impl std::fmt::Display for FrameError {
@@ -68,8 +108,12 @@ impl std::fmt::Display for FrameError {
                 write!(f, "frame body {got} exceeds bound {MAX_FRAME_BODY}")
             }
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::ChecksumMismatch { expected, got } => {
+                write!(f, "frame checksum mismatch: header {expected:#010x}, body {got:#010x}")
+            }
             FrameError::Control(e) => write!(f, "control frame: {e}"),
             FrameError::TruncatedBody => write!(f, "piece-data body truncated"),
+            FrameError::TruncatedStream => write!(f, "stream ended mid-frame"),
         }
     }
 }
@@ -83,18 +127,24 @@ impl From<DecodeError> for FrameError {
 }
 
 impl Frame {
-    /// Appends the framed encoding (`[len][kind][body]`) to `out`.
+    /// Appends the framed encoding (`[len][kind][checksum][body]`) to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Frame::Control(msg) => {
                 let body = msg.encode();
                 out.extend_from_slice(&(body.len() as u32).to_le_bytes());
                 out.push(KIND_CONTROL);
+                out.extend_from_slice(&frame_checksum(KIND_CONTROL, &body).to_le_bytes());
                 out.extend_from_slice(&body);
             }
             Frame::PieceData { piece, payload } => {
                 out.extend_from_slice(&((payload.len() + 4) as u32).to_le_bytes());
                 out.push(KIND_PIECE_DATA);
+                // Fold the checksum over [piece][payload] incrementally so
+                // a multi-MiB piece body is never copied just to hash it.
+                let mut h = frame_checksum(KIND_PIECE_DATA, &piece.0.to_le_bytes());
+                h = fnv1a_step(h, payload);
+                out.extend_from_slice(&h.to_le_bytes());
                 out.extend_from_slice(&piece.0.to_le_bytes());
                 out.extend_from_slice(payload);
             }
@@ -154,28 +204,43 @@ impl FrameDecoder {
     /// needed. After an `Err` the stream is corrupt and the caller should
     /// drop the connection (strict framing has no resync point).
     ///
+    /// Header fields are validated as soon as their bytes arrive — an
+    /// oversized length prefix is rejected after 4 bytes, before any
+    /// allocation for the claimed body.
+    ///
     /// # Errors
     ///
-    /// Returns a [`FrameError`] on an oversized, unknown or malformed
-    /// frame.
+    /// Returns a [`FrameError`] on an oversized, unknown, corrupt or
+    /// malformed frame.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
         let avail = &self.buf[self.head..];
-        if avail.len() < FRAME_HEADER_LEN {
+        if avail.len() < 4 {
             return Ok(None);
         }
         let body_len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
         if body_len > MAX_FRAME_BODY {
             return Err(FrameError::Oversized { got: body_len });
         }
+        if avail.len() < 5 {
+            return Ok(None);
+        }
         let kind = avail[4];
         if kind != KIND_CONTROL && kind != KIND_PIECE_DATA {
             return Err(FrameError::UnknownKind(kind));
         }
+        if avail.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let expected = u32::from_le_bytes([avail[5], avail[6], avail[7], avail[8]]);
         let total = FRAME_HEADER_LEN + body_len as usize;
         if avail.len() < total {
             return Ok(None);
         }
         let body = &avail[FRAME_HEADER_LEN..total];
+        let got = frame_checksum(kind, body);
+        if got != expected {
+            return Err(FrameError::ChecksumMismatch { expected, got });
+        }
         let frame = match kind {
             KIND_CONTROL => Frame::Control(Message::decode(body)?),
             _ => {
@@ -188,6 +253,19 @@ impl FrameDecoder {
         };
         self.head += total;
         Ok(Some(frame))
+    }
+
+    /// Declares the stream finished (peer closed or reset the link).
+    ///
+    /// Returns `Err(TruncatedStream)` if bytes of an incomplete frame are
+    /// still buffered — the frame can never complete and the caller should
+    /// treat the tail as corruption.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        if self.buffered() == 0 {
+            Ok(())
+        } else {
+            Err(FrameError::TruncatedStream)
+        }
     }
 }
 
@@ -223,14 +301,14 @@ mod tests {
         }
         assert_eq!(got, fs);
         assert_eq!(dec.buffered(), 0);
+        assert_eq!(dec.finish(), Ok(()));
     }
 
     #[test]
-    fn oversized_length_prefix_rejected() {
+    fn oversized_length_prefix_rejected_before_full_header() {
         let mut dec = FrameDecoder::new();
-        let mut bytes = (MAX_FRAME_BODY + 1).to_le_bytes().to_vec();
-        bytes.push(KIND_CONTROL);
-        dec.push(&bytes);
+        // Only the 4 length bytes — the bound check must not wait for more.
+        dec.push(&(MAX_FRAME_BODY + 1).to_le_bytes());
         assert_eq!(dec.next_frame(), Err(FrameError::Oversized { got: MAX_FRAME_BODY + 1 }));
     }
 
@@ -243,15 +321,25 @@ mod tests {
 
     #[test]
     fn malformed_control_body_rejected() {
+        // A correctly-checksummed body that is not a valid Message: the
+        // checksum must pass so strict decode gets its say.
+        let body = [200u8];
+        let mut bytes = vec![1, 0, 0, 0, KIND_CONTROL];
+        bytes.extend_from_slice(&frame_checksum(KIND_CONTROL, &body).to_le_bytes());
+        bytes.extend_from_slice(&body);
         let mut dec = FrameDecoder::new();
-        dec.push(&[1, 0, 0, 0, KIND_CONTROL, 200]);
+        dec.push(&bytes);
         assert!(matches!(dec.next_frame(), Err(FrameError::Control(DecodeError::UnknownTag(200)))));
     }
 
     #[test]
     fn short_piece_body_rejected() {
+        let body = [1u8, 2];
+        let mut bytes = vec![2, 0, 0, 0, KIND_PIECE_DATA];
+        bytes.extend_from_slice(&frame_checksum(KIND_PIECE_DATA, &body).to_le_bytes());
+        bytes.extend_from_slice(&body);
         let mut dec = FrameDecoder::new();
-        dec.push(&[2, 0, 0, 0, KIND_PIECE_DATA, 1, 2]);
+        dec.push(&bytes);
         assert_eq!(dec.next_frame(), Err(FrameError::TruncatedBody));
     }
 
@@ -262,7 +350,33 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.push(&enc[..enc.len() - 1]);
         assert_eq!(dec.next_frame(), Ok(None));
+        assert_eq!(dec.finish(), Err(FrameError::TruncatedStream));
         dec.push(&enc[enc.len() - 1..]);
         assert_eq!(dec.next_frame(), Ok(Some(f)));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let f = Frame::Control(Message::ReceptionReport { requestor: NodeId(4), piece: PieceId(7) });
+        let enc = f.encode();
+        for byte in 0..enc.len() {
+            for bit in 0..8u8 {
+                let mut mutated = enc.clone();
+                mutated[byte] ^= 1 << bit;
+                let mut dec = FrameDecoder::new();
+                dec.push(&mutated);
+                let verdict = dec.next_frame();
+                match verdict {
+                    // A flip in the length prefix may make the frame look
+                    // longer than the buffer: incomplete, then truncated
+                    // at stream end — still never a silent success.
+                    Ok(None) => assert_eq!(dec.finish(), Err(FrameError::TruncatedStream)),
+                    Ok(Some(got)) => panic!(
+                        "flip byte {byte} bit {bit} decoded silently as {got:?}"
+                    ),
+                    Err(_) => {}
+                }
+            }
+        }
     }
 }

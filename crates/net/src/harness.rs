@@ -24,14 +24,16 @@
 //! comparable with the fluid simulator's.
 
 use crate::content::{fingerprint, mix64, Content};
-use crate::frame::Frame;
-use crate::runtime::{NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime};
-use crate::transport::{ChannelMesh, Delivery, NetError, Transport, TransportStats};
+use crate::frame::{Frame, FrameError};
+use crate::runtime::{Checkpoint, NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime};
+use crate::transport::{
+    ChannelMesh, ChaosRecord, Delivery, NetError, RejectCause, Transport, TransportStats,
+};
 use std::collections::BTreeMap;
-use tchain_obs::{Event, Tracer};
+use tchain_obs::{ChaosKind, Event, RejectKind, Tracer};
 use tchain_proto::Tracker;
 use tchain_proto::wire::Message;
-use tchain_sim::{FaultPlan, NodeId, SimRng};
+use tchain_sim::{ChaosAction, ChaosPlan, ChaosState, FaultPlan, FrameMutation, NodeId, SimRng};
 
 /// Scenario parameters for one swarm run.
 #[derive(Debug, Clone)]
@@ -50,6 +52,9 @@ pub struct SwarmConfig {
     pub net: NetConfig,
     /// Fault plan for the mesh transport (loss/latency/partitions).
     pub plan: FaultPlan,
+    /// Byzantine chaos plan: frame corruption, duplication, reordering,
+    /// resets and crash-restart schedules.
+    pub chaos: ChaosPlan,
     /// Virtual seconds per tick (mesh transport).
     pub tick_dt: f64,
     /// Hard stop if the swarm has not drained by then.
@@ -68,6 +73,7 @@ impl Default for SwarmConfig {
             seed: 42,
             net: NetConfig::default(),
             plan: FaultPlan::none(),
+            chaos: ChaosPlan::none(),
             tick_dt: 1.0,
             max_ticks: 4000,
             trace_capacity: 4096,
@@ -291,6 +297,13 @@ impl Observer {
         self.departed.insert(id);
     }
 
+    /// Records that a crashed `id` rejoined from a checkpoint: it acts on
+    /// delivered frames again, so the departed-peer audit carve-outs no
+    /// longer apply to it.
+    pub fn note_rejoined(&mut self, id: u32) {
+        self.departed.remove(&id);
+    }
+
     fn new_chain(&mut self) -> usize {
         self.chains.push(ChainObs::default());
         self.chains.len() - 1
@@ -322,6 +335,34 @@ impl Observer {
 
 fn pack(a: u32, b: u32, p: u32) -> u64 {
     (u64::from(a) << 42) | (u64::from(b) << 21) | u64::from(p)
+}
+
+/// Maps a transport injection to its obs event kind. `Deliver` is never
+/// recorded as an injection, hence `None`.
+fn chaos_kind(action: ChaosAction) -> Option<ChaosKind> {
+    Some(match action {
+        ChaosAction::Deliver => return None,
+        ChaosAction::Corrupt(FrameMutation::BitFlip { .. }) => ChaosKind::BitFlip,
+        ChaosAction::Corrupt(FrameMutation::Truncate { .. }) => ChaosKind::Truncate,
+        ChaosAction::Corrupt(FrameMutation::OversizeLen) => ChaosKind::OversizeLen,
+        ChaosAction::Duplicate => ChaosKind::Duplicate,
+        ChaosAction::Reorder => ChaosKind::Reorder,
+        ChaosAction::Reset => ChaosKind::Reset,
+    })
+}
+
+/// Maps a receiver-side reject cause to its obs event kind.
+fn reject_kind(cause: &RejectCause) -> RejectKind {
+    match cause {
+        RejectCause::Reset => RejectKind::Reset,
+        RejectCause::Malformed(e) => match e {
+            FrameError::Oversized { .. } => RejectKind::Oversized,
+            FrameError::UnknownKind(_) => RejectKind::UnknownKind,
+            FrameError::ChecksumMismatch { .. } => RejectKind::ChecksumMismatch,
+            FrameError::TruncatedStream => RejectKind::Truncated,
+            FrameError::Control(_) | FrameError::TruncatedBody => RejectKind::Malformed,
+        },
+    }
 }
 
 /// Outcome of one swarm run.
@@ -367,6 +408,16 @@ pub struct SwarmReport {
     pub key_releases: u64,
     /// Key releases over the §II-B4 escrow path.
     pub escrow_transfers: u64,
+    /// Chaos injections taken by the transport (corrupt/dup/reorder/reset).
+    pub chaos_injects: u64,
+    /// Frames (or streams) receivers rejected as malformed or reset.
+    pub frame_rejects: u64,
+    /// Quarantines imposed after repeated rejects from one peer.
+    pub quarantines: u64,
+    /// Abrupt crash-restart crashes executed.
+    pub crashes: u64,
+    /// Checkpoint rejoins completed.
+    pub rejoins: u64,
     /// Transport delivery counters.
     pub transport: TransportStats,
     /// Order-sensitive digest of every delivered frame — two runs with
@@ -391,6 +442,13 @@ impl SwarmReport {
     }
 }
 
+/// A crashed peer waiting out its jittered outage before rejoining.
+struct RejoinSlot {
+    at: f64,
+    generation: u32,
+    checkpoint: Checkpoint,
+}
+
 /// N in-process peers over one transport.
 pub struct SwarmHarness<T: Transport> {
     transport: T,
@@ -403,6 +461,13 @@ pub struct SwarmHarness<T: Transport> {
     rng: SimRng,
     fingerprint: u64,
     departed_handled: BTreeMap<u32, ()>,
+    /// Harness-side view of the chaos plan: crash schedule + backoff
+    /// jitter. Frame-level injections live in the transport's own state.
+    chaos: ChaosState,
+    pending_rejoin: Vec<RejoinSlot>,
+    chaos_injects: u64,
+    crashes: u64,
+    rejoins: u64,
 }
 
 impl<T: Transport> SwarmHarness<T> {
@@ -435,6 +500,12 @@ impl<T: Transport> SwarmHarness<T> {
             Tracer::disabled()
         };
         let rng = SimRng::new(cfg.seed ^ 0x7A_C4E4);
+        // The harness forks its own chaos state for crash scheduling and
+        // backoff jitter; salting the seed keeps its draws independent of
+        // the transport's frame-level injection stream.
+        let mut chaos_plan = cfg.chaos.clone();
+        chaos_plan.seed ^= 0x0C_1A05_44A4;
+        let chaos = ChaosState::new(chaos_plan);
         Ok(SwarmHarness {
             transport,
             cfg,
@@ -446,6 +517,11 @@ impl<T: Transport> SwarmHarness<T> {
             rng,
             fingerprint: 0x5EED_F00D,
             departed_handled: BTreeMap::new(),
+            chaos,
+            pending_rejoin: Vec::new(),
+            chaos_injects: 0,
+            crashes: 0,
+            rejoins: 0,
         })
     }
 
@@ -488,6 +564,9 @@ impl<T: Transport> SwarmHarness<T> {
             }
             self.flush(staged)?;
             self.handle_departures(now);
+            self.handle_chaos_records(now);
+            self.handle_rejoins(now)?;
+            self.handle_crashes(now);
             if self.compliant_done() {
                 // A few grace ticks drain in-flight frames so trailing
                 // key releases still pass under the observer's eye.
@@ -502,7 +581,9 @@ impl<T: Transport> SwarmHarness<T> {
         let mut completion_times = Vec::new();
         let mut peer_counters = Vec::new();
         let mut completed_compliant = 0;
-        let mut total_compliant = 0;
+        // From the scenario, not the survivors: a peer still waiting out
+        // its crash outage at the deadline must count as incomplete.
+        let total_compliant = self.cfg.peers - 1 - self.cfg.free_riders;
         let mut completed_free_riders = 0;
         for (&id, p) in &self.peers {
             if let Some(t) = p.completion_time() {
@@ -511,7 +592,6 @@ impl<T: Transport> SwarmHarness<T> {
             peer_counters.push((id, p.counters()));
             match p.role() {
                 PeerRole::Compliant => {
-                    total_compliant += 1;
                     if p.is_complete() {
                         completed_compliant += 1;
                     }
@@ -545,6 +625,11 @@ impl<T: Transport> SwarmHarness<T> {
             reports: self.observer.reports,
             key_releases: self.observer.key_releases,
             escrow_transfers: self.observer.escrow_transfers,
+            chaos_injects: self.chaos_injects,
+            frame_rejects: peer_counters.iter().map(|(_, c)| c.frame_rejects).sum(),
+            quarantines: peer_counters.iter().map(|(_, c)| c.quarantines).sum(),
+            crashes: self.crashes,
+            rejoins: self.rejoins,
             transport: self.transport.stats(),
             fingerprint: self.fingerprint,
             events_recorded: self.tracer.emitted(),
@@ -592,11 +677,149 @@ impl<T: Transport> SwarmHarness<T> {
         }
     }
 
-    fn compliant_done(&self) -> bool {
-        self.peers
+    /// Drains the transport's chaos log: injections become trace events;
+    /// receiver-side rejects feed the receiving peer's strike counter and
+    /// may trip a quarantine.
+    fn handle_chaos_records(&mut self, now: f64) {
+        for rec in self.transport.take_chaos() {
+            match rec {
+                ChaosRecord::Inject { from, to, action } => {
+                    self.chaos_injects += 1;
+                    if self.tracer.is_enabled() {
+                        if let Some(kind) = chaos_kind(action) {
+                            self.tracer.record(now, Event::ChaosInject {
+                                from: from.0,
+                                to: to.0,
+                                kind,
+                            });
+                        }
+                    }
+                }
+                ChaosRecord::Reject(rej) => {
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(now, Event::FrameReject {
+                            peer: rej.to.0,
+                            offender: rej.from.0,
+                            kind: reject_kind(&rej.cause),
+                        });
+                    }
+                    if let Some(peer) = self.peers.get_mut(&rej.to.0) {
+                        if let Some(until) = peer.on_frame_reject(now, rej.from) {
+                            if self.tracer.is_enabled() {
+                                self.tracer.record(now, Event::PeerQuarantine {
+                                    peer: rej.to.0,
+                                    offender: rej.from.0,
+                                    until,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fires due crash-restart events: victims are checkpointed, torn out
+    /// of transport/tracker/swarm with no §II-B4 goodbye, and scheduled to
+    /// rejoin after a jittered outage.
+    fn handle_crashes(&mut self, now: f64) {
+        if !self.chaos.crash_due(now) {
+            return;
+        }
+        let alive: Vec<NodeId> = self
+            .peers
             .values()
-            .filter(|p| p.role() == PeerRole::Compliant)
-            .all(|p| p.is_complete())
+            .filter(|p| p.role() == PeerRole::Compliant && !p.departed())
+            .map(PeerRuntime::id)
+            .collect();
+        for (victim, restart_after) in self.chaos.crash_victims(now, &alive) {
+            let Some(peer) = self.peers.remove(&victim.0) else { continue };
+            // Round-trip the checkpoint through its byte encoding so the
+            // rejoin path exercises exactly what a process reloading a
+            // file on disk would.
+            let bytes = peer.checkpoint().to_bytes();
+            let checkpoint = Checkpoint::from_bytes(&bytes).expect("own encoding");
+            self.crashes += 1;
+            self.transport.disconnect(victim);
+            self.tracker.unregister(victim);
+            self.observer.note_departed(victim.0);
+            if self.tracer.is_enabled() {
+                self.tracer.record(now, Event::PeerCrash { peer: victim.0 });
+            }
+            for (&pid, other) in self.peers.iter_mut() {
+                if pid != victim.0 && !other.departed() {
+                    other.on_peer_gone(victim);
+                }
+            }
+            let generation = checkpoint.generation() + 1;
+            self.pending_rejoin.push(RejoinSlot {
+                at: now + self.chaos.backoff_jitter(restart_after),
+                generation,
+                checkpoint,
+            });
+        }
+    }
+
+    /// Restores crashed peers whose outage has elapsed: re-register with
+    /// transport and tracker, rebuild the runtime from its checkpoint
+    /// (fresh generation-salted RNG and keyring) and re-bootstrap.
+    fn handle_rejoins(&mut self, now: f64) -> Result<(), NetError> {
+        if self.pending_rejoin.is_empty() {
+            return Ok(());
+        }
+        let mut due: Vec<RejoinSlot> = Vec::new();
+        let mut later: Vec<RejoinSlot> = Vec::new();
+        for slot in self.pending_rejoin.drain(..) {
+            if slot.at <= now {
+                due.push(slot);
+            } else {
+                later.push(slot);
+            }
+        }
+        self.pending_rejoin = later;
+        // Deterministic rejoin order regardless of crash-draw order.
+        due.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.checkpoint.id().cmp(&b.checkpoint.id())));
+        let arm = !self.transport.reliable();
+        for slot in due {
+            let id = slot.checkpoint.id();
+            let mut peer = PeerRuntime::restore(
+                &slot.checkpoint,
+                self.content,
+                self.cfg.net,
+                self.cfg.seed,
+                slot.generation,
+            )
+            .expect("checkpoint was taken from this swarm's content");
+            peer.set_arm_retries(arm);
+            self.transport.reconnect(id)?;
+            self.tracker.register(id);
+            self.observer.note_rejoined(id.0);
+            self.rejoins += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.record(now, Event::PeerRejoin {
+                    peer: id.0,
+                    generation: slot.generation,
+                });
+            }
+            let members =
+                self.tracker.random_members(id, self.cfg.peers as usize, &mut self.rng);
+            let mut out: Outbox = Vec::new();
+            peer.bootstrap(&members, &mut out);
+            let staged: Vec<(NodeId, NodeId, Frame)> =
+                out.into_iter().map(|(to, f)| (id, to, f)).collect();
+            self.peers.insert(id.0, peer);
+            self.flush(staged)?;
+        }
+        Ok(())
+    }
+
+    fn compliant_done(&self) -> bool {
+        self.pending_rejoin.is_empty()
+            && self
+                .peers
+                .values()
+                .filter(|p| p.role() == PeerRole::Compliant)
+                .all(|p| p.is_complete())
     }
 
     fn plaintexts_ok(&self) -> bool {
@@ -625,7 +848,7 @@ impl<T: Transport> SwarmHarness<T> {
 ///
 /// Propagates any transport-level [`NetError`].
 pub fn run_swarm(cfg: SwarmConfig) -> Result<SwarmReport, NetError> {
-    let mesh = ChannelMesh::new(cfg.plan.clone(), cfg.tick_dt);
+    let mesh = ChannelMesh::with_chaos(cfg.plan.clone(), cfg.chaos.clone(), cfg.tick_dt);
     SwarmHarness::new(mesh, cfg)?.run()
 }
 
@@ -673,5 +896,72 @@ mod tests {
         assert_eq!(a.fingerprint, b.fingerprint);
         assert_eq!(a.ticks, b.ticks);
         assert_eq!(a.completion_times, b.completion_times);
+    }
+
+    #[test]
+    fn corruption_chaos_swarm_still_completes() {
+        let cfg = SwarmConfig {
+            chaos: ChaosPlan::corrupting(77, 0.05),
+            max_ticks: 8000,
+            ..SwarmConfig::default()
+        };
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(report.chaos_injects > 0, "5 % corruption must actually fire");
+        assert!(report.frame_rejects > 0, "corrupted frames must surface as rejects");
+    }
+
+    #[test]
+    fn byzantine_mix_survives_the_full_taxonomy() {
+        let cfg = SwarmConfig {
+            chaos: ChaosPlan::byzantine(13, 0.08),
+            max_ticks: 8000,
+            ..SwarmConfig::default()
+        };
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(report.chaos_injects > 0);
+    }
+
+    #[test]
+    fn crash_restart_rejoins_from_checkpoint_and_completes() {
+        let cfg = SwarmConfig {
+            peers: 10,
+            chaos: ChaosPlan::none().with_crash_restart(6.0, 0.25, 5.0),
+            max_ticks: 8000,
+            ..SwarmConfig::default()
+        };
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(report.crashes > 0, "the crash event must fire before completion");
+        assert_eq!(report.rejoins, report.crashes, "every crash rejoins");
+        assert_eq!(report.completed_compliant, report.total_compliant);
+    }
+
+    #[test]
+    fn same_seed_same_chaos_run() {
+        let cfg = SwarmConfig {
+            peers: 8,
+            chaos: ChaosPlan::byzantine(5, 0.06).with_crash_restart(6.0, 0.25, 5.0),
+            max_ticks: 8000,
+            ..SwarmConfig::default()
+        };
+        let a = run_swarm(cfg.clone()).expect("run a");
+        let b = run_swarm(cfg).expect("run b");
+        assert_eq!(a.fingerprint, b.fingerprint, "chaos runs must stay deterministic");
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.chaos_injects, b.chaos_injects);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.completion_times, b.completion_times);
+    }
+
+    #[test]
+    fn chaos_free_runs_are_untouched_by_the_chaos_layer() {
+        // A ChaosPlan::none() config must produce the exact run an
+        // unmodified harness would: zero injections, zero draws.
+        let report = run_swarm(SwarmConfig::default()).expect("run");
+        assert_eq!(report.chaos_injects, 0);
+        assert_eq!(report.frame_rejects, 0);
+        assert_eq!(report.crashes, 0);
     }
 }

@@ -14,6 +14,15 @@
 //! and a [`SwarmHarness`] that boots N peers in one process, runs a
 //! flash crowd to completion and audits every key release on the wire.
 //!
+//! On top of that sits a chaos layer: both transports compose a
+//! `tchain-sim` `ChaosPlan` that corrupts, duplicates, reorders and
+//! resets frames in flight; the checksummed codec turns every mutation
+//! into a typed [`FrameError`]; receivers convert rejects into strikes
+//! and temporary quarantines; and a crash-restart schedule kills peers
+//! abruptly and rejoins them from a serialized [`Checkpoint`]. The
+//! harness orchestrates all of it and asserts that safety (byte-exact
+//! plaintexts, zero unreciprocated key releases) survives.
+//!
 //! The crate depends only on `tchain-{crypto,proto,sim,obs}` — the
 //! fluid drivers in `tchain-core` know nothing about it, which is what
 //! lets integration tests cross-check the two independently.
@@ -29,8 +38,15 @@ mod tcp;
 mod transport;
 
 pub use content::{fingerprint, Content};
-pub use frame::{Frame, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_BODY};
+pub use frame::{
+    frame_checksum, Frame, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_BODY,
+};
 pub use harness::{run_swarm, Observer, SwarmConfig, SwarmHarness, SwarmReport};
-pub use runtime::{NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime};
+pub use runtime::{
+    Checkpoint, CheckpointError, NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime,
+};
 pub use tcp::TcpLoopback;
-pub use transport::{ChannelMesh, Delivery, NetError, Transport, TransportStats};
+pub use transport::{
+    ChannelMesh, ChaosRecord, Delivery, FrameReject, NetError, RejectCause, Transport,
+    TransportStats,
+};

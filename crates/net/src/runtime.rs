@@ -76,6 +76,14 @@ pub struct NetConfig {
     pub depart_on_complete: bool,
     /// Completed, non-departing leechers keep seeding (§II-D3).
     pub opportunistic: bool,
+    /// Frame rejects tolerated from one neighbor before it is
+    /// quarantined (byzantine strike policy).
+    pub strike_limit: u32,
+    /// Seconds a quarantined neighbor is excluded from donor rounds and
+    /// payee designation. Quarantine is deliberately temporary: under
+    /// injected chaos the "offender" is innocent, so a bounded exclusion
+    /// keeps false positives from starving the swarm.
+    pub quarantine_secs: f64,
 }
 
 impl Default for NetConfig {
@@ -90,6 +98,8 @@ impl Default for NetConfig {
             max_retries: 4,
             depart_on_complete: false,
             opportunistic: true,
+            strike_limit: 3,
+            quarantine_secs: 30.0,
         }
     }
 }
@@ -182,6 +192,10 @@ pub struct PeerCounters {
     pub stalled_txns: u64,
     /// Keys escrowed to a payee at departure (§II-B4).
     pub escrowed: u64,
+    /// Frame rejects attributed to neighbors (byzantine strikes).
+    pub frame_rejects: u64,
+    /// Neighbors quarantined after crossing the strike limit.
+    pub quarantines: u64,
 }
 
 /// The executable peer.
@@ -213,9 +227,22 @@ pub struct PeerRuntime {
     /// requestor whose reciprocation we received, the lookup escrow
     /// forwarding needs when keys arrive late.
     recips_seen: BTreeMap<(u32, u32), std::collections::BTreeSet<u32>>,
-    /// `(requestor, piece)` gift uploads already sent (§II-B3), so the
-    /// donor round does not re-gift while data is in flight.
-    gifted: BTreeMap<(u32, u32), ()>,
+    /// `(requestor, piece)` gift uploads already sent (§II-B3) → send
+    /// time, so the donor round does not re-gift while data is in
+    /// flight. Entries expire after `stall_timeout`: a gift is
+    /// fire-and-forget, and on a byzantine transport the one gift a
+    /// requestor's endgame depends on can be corrupted in flight —
+    /// suppressing re-gifts forever would wedge the swarm.
+    gifted: BTreeMap<(u32, u32), f64>,
+    /// Byzantine strike counters per apparent offender.
+    strikes: BTreeMap<u32, u32>,
+    /// Quarantined offenders → local-clock expiry. Swept lazily each
+    /// tick; a quarantined neighbor is skipped by donor rounds and payee
+    /// designation but keeps its obligations (liveness over punishment).
+    quarantined: BTreeMap<u32, f64>,
+    /// Restart incarnation: 0 for the original process, bumped by each
+    /// crash-restart [`PeerRuntime::restore`].
+    generation: u32,
     complete_at: Option<f64>,
     departed: bool,
     counters: PeerCounters,
@@ -255,6 +282,9 @@ impl PeerRuntime {
             escrow: BTreeMap::new(),
             recips_seen: BTreeMap::new(),
             gifted: BTreeMap::new(),
+            strikes: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
+            generation: 0,
             complete_at: None,
             departed: false,
             counters: PeerCounters::default(),
@@ -306,6 +336,51 @@ impl PeerRuntime {
     /// Per-peer protocol counters.
     pub fn counters(&self) -> PeerCounters {
         self.counters
+    }
+
+    /// Restart incarnation (0 = original, bumped per crash-restart).
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// `true` while `peer` is quarantined (between a strike-limit breach
+    /// and the lazy expiry sweep of [`PeerRuntime::on_tick`]).
+    pub fn is_quarantining(&self, peer: NodeId) -> bool {
+        self.quarantined.contains_key(&peer.0)
+    }
+
+    /// Deterministic ±20 % jitter drawn from this peer's own RNG stream.
+    /// Retry schedules use it so peers who lost the same frame do not
+    /// retransmit in lockstep (a thundering-herd de-correlator).
+    fn jittered(&mut self, base: f64) -> f64 {
+        base * (0.8 + 0.4 * self.rng.f64())
+    }
+
+    /// Records a rejected frame (or reset) attributed to `offender`.
+    ///
+    /// Every reject is a strike; at [`NetConfig::strike_limit`] strikes
+    /// the offender enters quarantine for [`NetConfig::quarantine_secs`]
+    /// and the counter resets. Returns the quarantine expiry when this
+    /// reject tripped the limit. Quarantine only withholds *new goodwill*
+    /// (donor rounds, payee designation); existing obligations toward the
+    /// offender stand, so a falsely-accused peer is never starved — the
+    /// stall sweep, not the strike policy, owns abandoned transactions.
+    pub fn on_frame_reject(&mut self, now: f64, offender: NodeId) -> Option<f64> {
+        if self.departed {
+            return None;
+        }
+        self.counters.frame_rejects += 1;
+        let strikes = self.strikes.entry(offender.0).or_insert(0);
+        *strikes += 1;
+        if *strikes >= self.cfg.strike_limit {
+            *strikes = 0;
+            let until = now + self.cfg.quarantine_secs;
+            self.quarantined.insert(offender.0, until);
+            self.counters.quarantines += 1;
+            Some(until)
+        } else {
+            None
+        }
     }
 
     /// Handshake with an initial tracker membership list.
@@ -522,11 +597,12 @@ impl PeerRuntime {
             piece: PieceId(piece),
         })));
         if self.arm_retries {
+            let delay = self.jittered(self.cfg.retry_base);
             self.retries.push(ReportRetry {
                 donor,
                 requestor,
                 piece,
-                next_at: now + self.cfg.retry_base,
+                next_at: now + delay,
                 attempt: 0,
             });
         }
@@ -686,11 +762,14 @@ impl PeerRuntime {
         if self.departed {
             return;
         }
+        // Expired quarantines lift here, so within one tick the map
+        // holds exactly the active exclusions.
+        self.quarantined.retain(|_, &mut until| until > now);
         if self.role != PeerRole::FreeRider {
             self.process_obligations(now, out);
             self.fire_retries(now, out);
         }
-        self.stall_sweep(now);
+        self.stall_sweep(now, out);
         let donating = self.role == PeerRole::Seeder
             || (self.role == PeerRole::Compliant
                 && self.is_complete()
@@ -868,7 +947,7 @@ impl PeerRuntime {
             // Interested neighbors under the §II-D2 ledger cap.
             let mut cands: Vec<(u32, u32)> = Vec::new(); // (neighbor, piece)
             for (&nid, n) in &self.neighbors {
-                if !n.known {
+                if !n.known || self.quarantined.contains_key(&nid) {
                     continue;
                 }
                 if self.ledger.get(&nid).copied().unwrap_or(0) >= self.cfg.k_pending {
@@ -964,7 +1043,7 @@ impl PeerRuntime {
                 *self.ledger.entry(to).or_insert(0) += 1;
             }
             None => {
-                self.gifted.insert((to, piece), ());
+                self.gifted.insert((to, piece), now);
             }
         }
         true
@@ -988,6 +1067,7 @@ impl PeerRuntime {
             .filter(|&(&nid, n)| {
                 nid != to
                     && nid != self.id.0
+                    && !self.quarantined.contains_key(&nid)
                     && self.ledger.get(&nid).copied().unwrap_or(0) < self.cfg.k_pending
                     && ((piece as usize) < n.have.len() && !n.have.has(PieceId(piece))
                         || to_have.as_ref().is_some_and(|th| n.have.wants_from(th)))
@@ -999,13 +1079,27 @@ impl PeerRuntime {
 
     /// PR 1 stall sweep: close transactions whose reciprocation never
     /// came (free-riding, §IV-F) and release their slots and ledger.
-    fn stall_sweep(&mut self, now: f64) {
+    /// Also expires the gift-suppression window: if a §II-B3 gift was
+    /// lost in flight, the requestor becomes giftable again (a completed
+    /// requestor's `Have` broadcast keeps it out of the donor round's
+    /// candidate set regardless).
+    ///
+    /// Every stall additionally triggers anti-entropy: the donor
+    /// re-requests the bitfields of the stalled transaction's requestor
+    /// and payee. A stall is the symptom of a stale view — on a
+    /// byzantine transport a `Have` broadcast can be corrupted away, and
+    /// a donor that never refreshes keeps designating payees that want
+    /// nothing (the requestor can never reciprocate to them) instead of
+    /// falling through to the §II-B3 termination gift.
+    fn stall_sweep(&mut self, now: f64, out: &mut Outbox) {
+        self.gifted.retain(|_, &mut sent| now - sent <= self.cfg.stall_timeout);
         let stalled: Vec<(u32, u32)> = self
             .donor_txns
             .iter()
             .filter(|(_, t)| !t.reported && now - t.started > self.cfg.stall_timeout)
             .map(|(&k, _)| k)
             .collect();
+        let mut refresh: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
         for key in stalled {
             if let Some(mut txn) = self.donor_txns.remove(&key) {
                 if let Some(kid) = txn.key_id.take() {
@@ -1020,14 +1114,25 @@ impl PeerRuntime {
                 let pending = self.ledger.entry(key.0).or_insert(0);
                 *pending = pending.saturating_sub(1);
                 self.counters.stalled_txns += 1;
+                refresh.insert(key.0);
+                if let Some(p) = txn.payee {
+                    if p != self.id.0 {
+                        refresh.insert(p);
+                    }
+                }
             }
+        }
+        for nid in refresh {
+            out.push((NodeId(nid), Frame::Control(Message::NeighborRequest { from: self.id })));
         }
     }
 
-    /// Bounded exponential-backoff report retransmission (PR 1).
+    /// Bounded exponential-backoff report retransmission (PR 1), with
+    /// per-peer jitter so concurrent losers de-correlate.
     fn fire_retries(&mut self, now: f64, out: &mut Outbox) {
         let mut due = Vec::new();
-        self.retries.retain_mut(|r| {
+        let mut retries = std::mem::take(&mut self.retries);
+        retries.retain_mut(|r| {
             if now < r.next_at {
                 return true;
             }
@@ -1036,9 +1141,11 @@ impl PeerRuntime {
             if r.attempt >= self.cfg.max_retries {
                 return false;
             }
-            r.next_at = now + self.cfg.retry_base * self.cfg.retry_backoff.powi(r.attempt as i32);
+            let backoff = self.cfg.retry_base * self.cfg.retry_backoff.powi(r.attempt as i32);
+            r.next_at = now + self.jittered(backoff);
             true
         });
+        self.retries = retries;
         for (donor, requestor, piece) in due {
             self.counters.report_retries += 1;
             out.push((NodeId(donor), Frame::Control(Message::ReceptionReport {
@@ -1046,5 +1153,549 @@ impl PeerRuntime {
                 piece: PieceId(piece),
             })));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-restart checkpointing
+    // ------------------------------------------------------------------
+
+    /// Snapshots the state a crashed peer needs to rejoin: the piece set
+    /// (indices only — plaintext is regenerable from [`Content`]), the
+    /// §II-D2 ledger, §II-B4 escrow held as payee, the reciprocations
+    /// witnessed for escrow forwarding, the gift log and the counters.
+    ///
+    /// Deliberately *not* checkpointed: in-flight ciphertexts, donor
+    /// transactions, obligations and retry timers. A crash loses them on
+    /// a real machine too; the swarm recovers through the existing stall
+    /// sweep and re-donation machinery, which is exactly the recovery
+    /// path the chaos harness asserts on.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            id: self.id.0,
+            role: self.role,
+            generation: self.generation,
+            pieces: self.content.pieces as u32,
+            complete_at: self.complete_at,
+            counters: self.counters,
+            held: (0..self.content.pieces as u32)
+                .filter(|&i| self.plain[i as usize].is_some())
+                .collect(),
+            ledger: self.ledger.iter().map(|(&n, &k)| (n, k)).collect(),
+            escrow: self
+                .escrow
+                .iter()
+                .flat_map(|(&(d, p), held)| held.iter().map(move |&(r, k)| (d, p, r, k)))
+                .collect(),
+            recips_seen: self
+                .recips_seen
+                .iter()
+                .flat_map(|(&(d, p), rs)| rs.iter().map(move |&r| (d, p, r)))
+                .collect(),
+            gifted: self.gifted.keys().copied().collect(),
+        }
+    }
+
+    /// Rebuilds a peer from a checkpoint after a crash.
+    ///
+    /// `generation` names the new incarnation (checkpoint generation + 1
+    /// under the harness) and salts the restored RNG and keyring streams
+    /// — a restarted peer must mint fresh keys, never reuse its dead
+    /// incarnation's. Plaintext is regenerated from `content` for every
+    /// held piece. Neighbors start empty: the peer re-registers with the
+    /// tracker and re-bootstraps, which is the §II-B4 rejoin protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when the checkpoint does not fit
+    /// `content` or names an unknown role.
+    pub fn restore(
+        cp: &Checkpoint,
+        content: Content,
+        cfg: NetConfig,
+        seed: u64,
+        generation: u32,
+    ) -> Result<Self, CheckpointError> {
+        if cp.pieces as usize != content.pieces {
+            return Err(CheckpointError::PieceOutOfRange);
+        }
+        let mut have = Bitfield::new(content.pieces);
+        let mut plain = vec![None; content.pieces];
+        for &i in &cp.held {
+            if i as usize >= content.pieces {
+                return Err(CheckpointError::PieceOutOfRange);
+            }
+            have.set(PieceId(i));
+            plain[i as usize] = Some(content.piece(i));
+        }
+        let salt = u64::from(generation).wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut escrow: BTreeMap<(u32, u32), EscrowedKeys> = BTreeMap::new();
+        for &(d, p, r, k) in &cp.escrow {
+            escrow.entry((d, p)).or_default().push((r, k));
+        }
+        let mut recips_seen: BTreeMap<(u32, u32), std::collections::BTreeSet<u32>> =
+            BTreeMap::new();
+        for &(d, p, r) in &cp.recips_seen {
+            recips_seen.entry((d, p)).or_default().insert(r);
+        }
+        Ok(PeerRuntime {
+            id: NodeId(cp.id),
+            role: cp.role,
+            cfg,
+            content,
+            arm_retries: false,
+            rng: SimRng::new(seed ^ u64::from(cp.id).wrapping_mul(0x9E37_79B9) ^ salt),
+            keyring: Keyring::new(seed ^ (u64::from(cp.id) << 32) ^ 0x5EED ^ salt),
+            have,
+            plain,
+            neighbors: BTreeMap::new(),
+            donor_txns: BTreeMap::new(),
+            active_donations: 0,
+            ledger: cp.ledger.iter().copied().collect(),
+            pending_in: BTreeMap::new(),
+            obligations: Vec::new(),
+            retries: Vec::new(),
+            escrow,
+            recips_seen,
+            // Gift send times are not checkpointed; age them out as
+            // ancient so the restarted peer may re-gift immediately.
+            gifted: cp.gifted.iter().map(|&k| (k, f64::NEG_INFINITY)).collect(),
+            strikes: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
+            generation,
+            complete_at: cp.complete_at,
+            departed: false,
+            counters: cp.counters,
+        })
+    }
+}
+
+/// Serializable snapshot of the durable state of one [`PeerRuntime`]
+/// (see [`PeerRuntime::checkpoint`] for what is and is not included).
+///
+/// [`Checkpoint::to_bytes`]/[`Checkpoint::from_bytes`] give a versioned,
+/// fully hand-rolled little-endian encoding — a crashed process could
+/// genuinely persist and reload it; the in-process harness round-trips it
+/// to prove that.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    id: u32,
+    role: PeerRole,
+    generation: u32,
+    pieces: u32,
+    complete_at: Option<f64>,
+    counters: PeerCounters,
+    held: Vec<u32>,
+    ledger: Vec<(u32, u32)>,
+    /// Flattened §II-B4 escrow: `(donor, piece, requestor, key bytes)`.
+    escrow: Vec<(u32, u32, u32, [u8; KEY_WIRE_SIZE])>,
+    /// Flattened reciprocation witness set: `(donor, piece, requestor)`.
+    recips_seen: Vec<(u32, u32, u32)>,
+    gifted: Vec<(u32, u32)>,
+}
+
+/// Errors from [`Checkpoint::from_bytes`] and [`PeerRuntime::restore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte buffer ended inside a field.
+    Truncated,
+    /// The magic prefix was not `TCKP`.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion,
+    /// Unknown role byte.
+    BadRole,
+    /// A held piece index (or the piece count) does not fit the content.
+    PieceOutOfRange,
+    /// Bytes remained after the last field.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            CheckpointError::Truncated => "checkpoint truncated",
+            CheckpointError::BadMagic => "bad checkpoint magic",
+            CheckpointError::BadVersion => "unsupported checkpoint version",
+            CheckpointError::BadRole => "unknown role byte",
+            CheckpointError::PieceOutOfRange => "piece index out of range for content",
+            CheckpointError::TrailingBytes => "trailing bytes after checkpoint",
+        };
+        f.write_str(what)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+const CHECKPOINT_MAGIC: [u8; 4] = *b"TCKP";
+const CHECKPOINT_VERSION: u16 = 1;
+
+struct CpReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CpReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(CheckpointError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Element count with a sanity bound: no list can have more entries
+    /// than bytes remaining, so a corrupt count fails fast instead of
+    /// attempting a giant allocation.
+    fn count(&mut self) -> Result<usize, CheckpointError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+impl Checkpoint {
+    /// The checkpointed peer's id.
+    pub fn id(&self) -> NodeId {
+        NodeId(self.id)
+    }
+
+    /// The incarnation this snapshot was taken from.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Number of pieces held at crash time.
+    pub fn held_pieces(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Escrowed key entries held as payee at crash time.
+    pub fn escrow_entries(&self) -> usize {
+        self.escrow.len()
+    }
+
+    /// Versioned little-endian encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            64 + 4 * self.held.len()
+                + 8 * self.ledger.len()
+                + (12 + KEY_WIRE_SIZE) * self.escrow.len()
+                + 12 * self.recips_seen.len()
+                + 8 * self.gifted.len(),
+        );
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.push(match self.role {
+            PeerRole::Seeder => 0,
+            PeerRole::Compliant => 1,
+            PeerRole::FreeRider => 2,
+        });
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.pieces.to_le_bytes());
+        match self.complete_at {
+            Some(t) => {
+                out.push(1);
+                out.extend_from_slice(&t.to_bits().to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        let c = &self.counters;
+        for v in [
+            c.decrypted,
+            c.unencrypted,
+            c.keys_sent,
+            c.reports_sent,
+            c.report_retries,
+            c.stalled_txns,
+            c.escrowed,
+            c.frame_rejects,
+            c.quarantines,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.held.len() as u32).to_le_bytes());
+        for &p in &self.held {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.ledger.len() as u32).to_le_bytes());
+        for &(n, k) in &self.ledger {
+            out.extend_from_slice(&n.to_le_bytes());
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.escrow.len() as u32).to_le_bytes());
+        for &(d, p, r, key) in &self.escrow {
+            out.extend_from_slice(&d.to_le_bytes());
+            out.extend_from_slice(&p.to_le_bytes());
+            out.extend_from_slice(&r.to_le_bytes());
+            out.extend_from_slice(&key);
+        }
+        out.extend_from_slice(&(self.recips_seen.len() as u32).to_le_bytes());
+        for &(d, p, r) in &self.recips_seen {
+            out.extend_from_slice(&d.to_le_bytes());
+            out.extend_from_slice(&p.to_le_bytes());
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.gifted.len() as u32).to_le_bytes());
+        for &(r, p) in &self.gifted {
+            out.extend_from_slice(&r.to_le_bytes());
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out
+    }
+
+    /// Strict decode of [`Checkpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on truncation, bad magic/version/role
+    /// or trailing bytes — a corrupt checkpoint is never half-loaded.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = CpReader { buf: bytes, pos: 0 };
+        if r.take(4)? != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        if r.u16()? != CHECKPOINT_VERSION {
+            return Err(CheckpointError::BadVersion);
+        }
+        let id = r.u32()?;
+        let role = match r.u8()? {
+            0 => PeerRole::Seeder,
+            1 => PeerRole::Compliant,
+            2 => PeerRole::FreeRider,
+            _ => return Err(CheckpointError::BadRole),
+        };
+        let generation = r.u32()?;
+        let pieces = r.u32()?;
+        let complete_at = match r.u8()? {
+            0 => None,
+            _ => Some(f64::from_bits(r.u64()?)),
+        };
+        let counters = PeerCounters {
+            decrypted: r.u64()?,
+            unencrypted: r.u64()?,
+            keys_sent: r.u64()?,
+            reports_sent: r.u64()?,
+            report_retries: r.u64()?,
+            stalled_txns: r.u64()?,
+            escrowed: r.u64()?,
+            frame_rejects: r.u64()?,
+            quarantines: r.u64()?,
+        };
+        let mut held = Vec::with_capacity(r.count()?);
+        for _ in 0..held.capacity() {
+            held.push(r.u32()?);
+        }
+        let mut ledger = Vec::with_capacity(r.count()?);
+        for _ in 0..ledger.capacity() {
+            ledger.push((r.u32()?, r.u32()?));
+        }
+        let mut escrow = Vec::with_capacity(r.count()?);
+        for _ in 0..escrow.capacity() {
+            let (d, p, rq) = (r.u32()?, r.u32()?, r.u32()?);
+            let mut key = [0u8; KEY_WIRE_SIZE];
+            key.copy_from_slice(r.take(KEY_WIRE_SIZE)?);
+            escrow.push((d, p, rq, key));
+        }
+        let mut recips_seen = Vec::with_capacity(r.count()?);
+        for _ in 0..recips_seen.capacity() {
+            recips_seen.push((r.u32()?, r.u32()?, r.u32()?));
+        }
+        let mut gifted = Vec::with_capacity(r.count()?);
+        for _ in 0..gifted.capacity() {
+            gifted.push((r.u32()?, r.u32()?));
+        }
+        if r.pos != bytes.len() {
+            return Err(CheckpointError::TrailingBytes);
+        }
+        Ok(Checkpoint {
+            id,
+            role,
+            generation,
+            pieces,
+            complete_at,
+            counters,
+            held,
+            ledger,
+            escrow,
+            recips_seen,
+            gifted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn content() -> Content {
+        Content { seed: 0xC0FFEE, pieces: 8, piece_len: 256 }
+    }
+
+    #[test]
+    fn retry_jitter_decorrelates_peers_and_stays_in_band() {
+        // Satellite: two peers who lost the same frame must not
+        // retransmit in lockstep — their jittered delays diverge while
+        // staying inside the ±20 % band.
+        let mut a = PeerRuntime::new(NodeId(1), PeerRole::Compliant, content(), NetConfig::default(), 42);
+        let mut b = PeerRuntime::new(NodeId(2), PeerRole::Compliant, content(), NetConfig::default(), 42);
+        let mut identical = 0;
+        for _ in 0..64 {
+            let (x, y) = (a.jittered(2.0), b.jittered(2.0));
+            assert!((1.6..2.4).contains(&x), "jitter {x} out of band");
+            assert!((1.6..2.4).contains(&y), "jitter {y} out of band");
+            if x.to_bits() == y.to_bits() {
+                identical += 1;
+            }
+        }
+        assert!(identical < 4, "retry schedules must de-correlate, {identical}/64 collided");
+    }
+
+    #[test]
+    fn strike_limit_quarantines_then_expires() {
+        let cfg = NetConfig { strike_limit: 3, quarantine_secs: 10.0, ..NetConfig::default() };
+        let mut p = PeerRuntime::new(NodeId(1), PeerRole::Compliant, content(), cfg, 7);
+        let bad = NodeId(9);
+        assert_eq!(p.on_frame_reject(1.0, bad), None);
+        assert_eq!(p.on_frame_reject(1.5, bad), None);
+        assert!(!p.is_quarantining(bad));
+        let until = p.on_frame_reject(2.0, bad);
+        assert_eq!(until, Some(12.0), "third strike quarantines");
+        assert!(p.is_quarantining(bad));
+        assert_eq!(p.counters().frame_rejects, 3);
+        assert_eq!(p.counters().quarantines, 1);
+        let mut out = Outbox::new();
+        p.on_tick(11.0, &mut out);
+        assert!(p.is_quarantining(bad), "quarantine holds until expiry");
+        p.on_tick(12.5, &mut out);
+        assert!(!p.is_quarantining(bad), "quarantine lifts after expiry");
+        // Strikes were reset at quarantine time: re-offending restarts
+        // the count instead of instantly re-quarantining.
+        assert_eq!(p.on_frame_reject(13.0, bad), None);
+    }
+
+    #[test]
+    fn quarantined_peer_gets_no_new_donations() {
+        let c = content();
+        let mut seeder = PeerRuntime::new(NodeId(0), PeerRole::Seeder, c, NetConfig::default(), 3);
+        let mut out = Outbox::new();
+        seeder.bootstrap(&[NodeId(1)], &mut out);
+        // Teach the seeder that peer 1 wants everything.
+        seeder.on_frame(
+            0.5,
+            NodeId(1),
+            Frame::Control(Message::Bitfield { pieces: c.pieces as u32, bits: vec![0u8; c.pieces.div_ceil(8)] }),
+            &mut out,
+        );
+        // Quarantine peer 1, then run a donor round: nothing may go out.
+        while seeder.on_frame_reject(1.0, NodeId(1)).is_none() {}
+        out.clear();
+        seeder.on_tick(1.0, &mut out);
+        assert!(
+            out.iter().all(|(to, _)| *to != NodeId(1)),
+            "no donation may target a quarantined peer: {out:?}"
+        );
+        // After expiry the same tick logic serves it again.
+        out.clear();
+        seeder.on_tick(1.0 + seeder.cfg.quarantine_secs + 1.0, &mut out);
+        assert!(
+            out.iter().any(|(to, f)| *to == NodeId(1) && matches!(f, Frame::PieceData { .. })),
+            "donations resume after quarantine expiry: {out:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_bytes() {
+        let c = content();
+        let mut p = PeerRuntime::new(NodeId(5), PeerRole::Compliant, c, NetConfig::default(), 11);
+        // Fabricate durable state across every checkpointed table.
+        let mut out = Outbox::new();
+        p.complete_piece(3.0, 2, c.piece(2), &mut out);
+        p.ledger.insert(7, 2);
+        p.escrow.insert((9, 1), vec![(4, [0xAB; KEY_WIRE_SIZE])]);
+        p.recips_seen.entry((9, 1)).or_default().insert(4);
+        p.gifted.insert((6, 0), 2.0);
+        p.counters.decrypted = 1;
+        p.counters.frame_rejects = 5;
+        let cp = p.checkpoint();
+        assert_eq!(cp.held_pieces(), 1);
+        assert_eq!(cp.escrow_entries(), 1);
+        let bytes = cp.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn restore_rebuilds_plaintext_and_salts_the_rng() {
+        let c = content();
+        let mut p = PeerRuntime::new(NodeId(5), PeerRole::Compliant, c, NetConfig::default(), 11);
+        let mut out = Outbox::new();
+        p.complete_piece(3.0, 2, c.piece(2), &mut out);
+        p.complete_piece(4.0, 6, c.piece(6), &mut out);
+        let cp = p.checkpoint();
+        let mut r = PeerRuntime::restore(&cp, c, NetConfig::default(), 11, cp.generation() + 1)
+            .expect("restore");
+        assert_eq!(r.generation(), 1);
+        assert_eq!(r.have_count(), 2);
+        assert_eq!(r.piece_bytes(2).unwrap(), &c.piece(2)[..], "plaintext regenerated");
+        assert_eq!(r.piece_bytes(6).unwrap(), &c.piece(6)[..]);
+        assert!(r.neighbors.is_empty(), "rejoin starts with a fresh neighbor set");
+        assert!(!r.departed());
+        // The restored incarnation's RNG stream must differ from the
+        // original's (fresh generation salt), or restarted peers would
+        // replay their dead incarnation's choices.
+        let (orig, restored): (Vec<u64>, Vec<u64>) = (
+            (0..8).map(|_| p.rng.f64().to_bits()).collect(),
+            (0..8).map(|_| r.rng.f64().to_bits()).collect(),
+        );
+        assert_ne!(orig, restored);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_typed_errors() {
+        let c = content();
+        let p = PeerRuntime::new(NodeId(5), PeerRole::Compliant, c, NetConfig::default(), 11);
+        let bytes = p.checkpoint().to_bytes();
+        assert_eq!(Checkpoint::from_bytes(&bytes[..3]), Err(CheckpointError::Truncated));
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(Checkpoint::from_bytes(&bad_magic), Err(CheckpointError::BadMagic));
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xFF;
+        assert_eq!(Checkpoint::from_bytes(&bad_version), Err(CheckpointError::BadVersion));
+        let mut bad_role = bytes.clone();
+        bad_role[10] = 9;
+        assert_eq!(Checkpoint::from_bytes(&bad_role), Err(CheckpointError::BadRole));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(Checkpoint::from_bytes(&trailing), Err(CheckpointError::TrailingBytes));
+        // A checkpoint for different content is refused at restore time.
+        let other = Content { seed: 1, pieces: 4, piece_len: 64 };
+        let err = PeerRuntime::restore(&p.checkpoint(), other, NetConfig::default(), 11, 1)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, CheckpointError::PieceOutOfRange);
     }
 }

@@ -9,14 +9,41 @@
 //! [`Transport::advance`]; delivery *timing* is up to the kernel, so this
 //! backend is for throughput benches and smoke tests — determinism claims
 //! belong to [`ChannelMesh`](crate::ChannelMesh).
+//!
+//! Failure handling is connection-scoped, never transport-scoped: a
+//! stream that produces a [`FrameError`] (corruption has no resync point)
+//! or dies mid-frame is torn down and surfaced as a
+//! [`FrameReject`] via [`Transport::take_chaos`], while every other link
+//! keeps flowing. A sender whose socket comes back reset reopens it on
+//! the next send. Chaos injection ([`ChaosPlan`]) mangles the sender-side
+//! wire bytes before they hit the socket, so detection exercises the same
+//! checksum path a genuinely byzantine peer would; `Reorder` is the one
+//! action TCP cannot express (a stream cannot overtake itself) and
+//! delivers normally.
 
 use crate::frame::{Frame, FrameDecoder};
-use crate::transport::{Delivery, NetError, Transport, TransportStats};
-use std::collections::BTreeMap;
+use crate::transport::{
+    apply_mutation, ChaosRecord, Delivery, FrameReject, NetError, RejectCause, Transport,
+    TransportStats,
+};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Instant;
-use tchain_sim::NodeId;
+use tchain_sim::{ChaosAction, ChaosPlan, ChaosState, NodeId};
+
+/// `true` for I/O errors meaning "this connection is dead", which the
+/// backend absorbs as a link reset rather than a transport failure.
+fn is_reset(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::NotConnected
+            | ErrorKind::UnexpectedEof
+    )
+}
 
 struct Conn {
     stream: TcpStream,
@@ -48,18 +75,20 @@ impl Conn {
     }
 
     /// Reads all currently-available bytes into the frame decoder.
-    fn drain_read(&mut self) -> Result<(), NetError> {
+    /// Returns `true` when the stream has ended (EOF or a reset-class
+    /// error); what was buffered before the end is kept for decoding.
+    fn drain_read(&mut self) -> Result<bool, NetError> {
         let mut chunk = [0u8; 16 * 1024];
         loop {
             match self.stream.read(&mut chunk) {
-                Ok(0) => break, // peer closed; decoder keeps what arrived
+                Ok(0) => return Ok(true),
                 Ok(n) => self.decoder.push(&chunk[..n]),
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if is_reset(e.kind()) => return Ok(true),
                 Err(e) => return Err(e.into()),
             }
         }
-        Ok(())
     }
 }
 
@@ -77,25 +106,41 @@ pub struct TcpLoopback {
     /// Receiver-side streams, keyed by (owner, remote sender).
     inbound: BTreeMap<(u32, u32), Conn>,
     pending: Vec<(u32, PendingAccept)>,
-    gone: BTreeMap<u32, bool>,
+    gone: BTreeSet<u32>,
+    chaos: ChaosState,
+    records: Vec<ChaosRecord>,
     started: Instant,
     stats: TransportStats,
 }
 
 impl TcpLoopback {
-    /// A fresh loopback transport with no endpoints.
+    /// A fresh loopback transport with no endpoints and no chaos.
     ///
     /// # Errors
     ///
     /// Currently infallible; kept fallible for parity with binding on
     /// registration.
     pub fn new() -> Result<Self, NetError> {
+        Self::with_chaos(ChaosPlan::none())
+    }
+
+    /// A loopback transport that mangles sender-side wire bytes per the
+    /// chaos plan. Crash schedules in the plan are ignored here — crash
+    /// orchestration belongs to the harness.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; kept fallible for parity with binding on
+    /// registration.
+    pub fn with_chaos(chaos: ChaosPlan) -> Result<Self, NetError> {
         Ok(TcpLoopback {
             listeners: BTreeMap::new(),
             outbound: BTreeMap::new(),
             inbound: BTreeMap::new(),
             pending: Vec::new(),
-            gone: BTreeMap::new(),
+            gone: BTreeSet::new(),
+            chaos: ChaosState::new(chaos),
+            records: Vec::new(),
             started: Instant::now(),
             stats: TransportStats::default(),
         })
@@ -104,14 +149,37 @@ impl TcpLoopback {
     fn connect(&mut self, from: NodeId, to: NodeId) -> Result<&mut Conn, NetError> {
         let key = (from.0, to.0);
         if !self.outbound.contains_key(&key) {
-            let (_, addr) =
-                self.listeners.get(&to.0).ok_or(NetError::UnknownPeer(to))?;
+            let (_, addr) = self.listeners.get(&to.0).ok_or(NetError::UnknownPeer(to))?;
             let stream = TcpStream::connect(addr)?;
             let mut conn = Conn::new(stream)?;
             conn.write_buf.extend_from_slice(&from.0.to_le_bytes());
             self.outbound.insert(key, conn);
         }
-        Ok(self.outbound.get_mut(&key).expect("just inserted"))
+        self.outbound
+            .get_mut(&key)
+            .ok_or(NetError::BackendState("outbound connection vanished after insert"))
+    }
+
+    /// Appends `bytes` to the link's stream and flushes what the socket
+    /// accepts. A reset-class failure tears the connection down and is
+    /// reported as a link reset, not a transport error — the next send
+    /// reopens the socket.
+    fn write_bytes(&mut self, from: NodeId, to: NodeId, bytes: &[u8]) -> Result<(), NetError> {
+        let attempt = (|| {
+            let conn = self.connect(from, to)?;
+            conn.write_buf.extend_from_slice(bytes);
+            conn.flush()
+        })();
+        match attempt {
+            Err(NetError::Io(e)) if is_reset(e.kind()) => {
+                self.outbound.remove(&(from.0, to.0));
+                self.stats.dropped += 1;
+                self.records
+                    .push(ChaosRecord::Reject(FrameReject { from, to, cause: RejectCause::Reset }));
+                Ok(())
+            }
+            other => other,
+        }
     }
 
     fn accept_new(&mut self) -> Result<(), NetError> {
@@ -119,10 +187,7 @@ impl TcpLoopback {
             loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        self.pending.push((
-                            owner,
-                            PendingAccept { stream, hello: Vec::new() },
-                        ));
+                        self.pending.push((owner, PendingAccept { stream, hello: Vec::new() }));
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) => return Err(e.into()),
@@ -143,6 +208,7 @@ impl TcpLoopback {
                     Ok(n) => p.hello.extend_from_slice(&byte[..n]),
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) if is_reset(e.kind()) => break,
                     Err(e) => return Err(e.into()),
                 }
             }
@@ -160,6 +226,8 @@ impl TcpLoopback {
 
 impl Transport for TcpLoopback {
     fn register(&mut self, id: NodeId) -> Result<(), NetError> {
+        // Re-registering a departed peer revives it (crash-restart).
+        self.gone.remove(&id.0);
         if self.listeners.contains_key(&id.0) {
             return Ok(());
         }
@@ -175,34 +243,110 @@ impl Transport for TcpLoopback {
             return Err(NetError::UnknownPeer(to));
         }
         self.stats.sent += 1;
-        if self.gone.get(&to.0).copied().unwrap_or(false) {
+        if self.gone.contains(&to.0) || self.gone.contains(&from.0) {
             self.stats.dropped += 1;
             return Ok(());
         }
-        let conn = self.connect(from, to)?;
-        frame.encode_into(&mut conn.write_buf);
-        conn.flush()?;
-        Ok(())
+        let action = self.chaos.action(frame.encoded_len());
+        if action != ChaosAction::Deliver {
+            self.records.push(ChaosRecord::Inject { from, to, action });
+        }
+        match action {
+            // A TCP stream cannot overtake itself: Reorder is a no-op
+            // here and the frame rides the stream in order.
+            ChaosAction::Deliver | ChaosAction::Reorder => {
+                self.write_bytes(from, to, &frame.encode())
+            }
+            ChaosAction::Corrupt(m) => {
+                let mut bytes = frame.encode();
+                apply_mutation(&mut bytes, m);
+                self.write_bytes(from, to, &bytes)
+            }
+            ChaosAction::Duplicate => {
+                let bytes = frame.encode();
+                self.write_bytes(from, to, &bytes)?;
+                self.write_bytes(from, to, &bytes)
+            }
+            ChaosAction::Reset => {
+                // Push half the frame onto the wire, then kill the socket:
+                // the receiver sees a stream that dies mid-frame.
+                let bytes = frame.encode();
+                self.write_bytes(from, to, &bytes[..bytes.len() / 2])?;
+                if let Some(mut conn) = self.outbound.remove(&(from.0, to.0)) {
+                    let _ = conn.flush();
+                }
+                self.stats.dropped += 1;
+                Ok(())
+            }
+        }
     }
 
     fn advance(&mut self) -> Result<Vec<Delivery>, NetError> {
         self.accept_new()?;
-        for conn in self.outbound.values_mut() {
-            conn.flush()?;
+        let mut dead_out = Vec::new();
+        for (&key, conn) in self.outbound.iter_mut() {
+            match conn.flush() {
+                Ok(()) => {}
+                Err(NetError::Io(e)) if is_reset(e.kind()) => dead_out.push(key),
+                Err(e) => return Err(e),
+            }
+        }
+        for key in dead_out {
+            self.outbound.remove(&key);
+            self.records.push(ChaosRecord::Reject(FrameReject {
+                from: NodeId(key.0),
+                to: NodeId(key.1),
+                cause: RejectCause::Reset,
+            }));
         }
         let mut out = Vec::new();
-        let gone = &self.gone;
+        let mut dead_in = Vec::new();
         for (&(owner, from), conn) in self.inbound.iter_mut() {
-            conn.drain_read()?;
-            while let Some(frame) = conn.decoder.next_frame()? {
-                if gone.get(&owner).copied().unwrap_or(false) {
-                    self.stats.dropped += 1;
-                    continue;
+            let closed = conn.drain_read()?;
+            let link_dead = loop {
+                match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => {
+                        if self.gone.contains(&owner) {
+                            self.stats.dropped += 1;
+                            continue;
+                        }
+                        self.stats.delivered += 1;
+                        self.stats.bytes_delivered += frame.encoded_len() as u64;
+                        out.push(Delivery { from: NodeId(from), to: NodeId(owner), frame });
+                    }
+                    Ok(None) => break false,
+                    Err(e) => {
+                        // Corrupt stream: no resync point, the connection
+                        // is dead. Surface the typed cause and keep every
+                        // other link flowing.
+                        self.stats.dropped += 1;
+                        self.records.push(ChaosRecord::Reject(FrameReject {
+                            from: NodeId(from),
+                            to: NodeId(owner),
+                            cause: RejectCause::Malformed(e),
+                        }));
+                        break true;
+                    }
                 }
-                self.stats.delivered += 1;
-                self.stats.bytes_delivered += frame.encoded_len() as u64;
-                out.push(Delivery { from: NodeId(from), to: NodeId(owner), frame });
+            };
+            if link_dead {
+                dead_in.push((owner, from));
+            } else if closed {
+                if conn.decoder.finish().is_err() {
+                    // The stream ended inside a frame — a reset from the
+                    // receiver's point of view.
+                    self.stats.dropped += 1;
+                    self.records.push(ChaosRecord::Reject(FrameReject {
+                        from: NodeId(from),
+                        to: NodeId(owner),
+                        cause: RejectCause::Reset,
+                    }));
+                }
+                dead_in.push((owner, from));
             }
+        }
+        for key in dead_in {
+            self.inbound.remove(&key);
         }
         Ok(out)
     }
@@ -212,7 +356,11 @@ impl Transport for TcpLoopback {
     }
 
     fn disconnect(&mut self, id: NodeId) {
-        self.gone.insert(id.0, true);
+        self.gone.insert(id.0);
+    }
+
+    fn take_chaos(&mut self) -> Vec<ChaosRecord> {
+        std::mem::take(&mut self.records)
     }
 
     fn backend(&self) -> &'static str {
@@ -220,7 +368,7 @@ impl Transport for TcpLoopback {
     }
 
     fn reliable(&self) -> bool {
-        true
+        !self.chaos.active()
     }
 
     fn stats(&self) -> TransportStats {
@@ -237,7 +385,11 @@ mod tests {
     /// Loopback sockets may be unavailable in sandboxed environments;
     /// skip rather than fail so the suite stays hermetic.
     fn try_pair() -> Option<TcpLoopback> {
-        let mut t = TcpLoopback::new().ok()?;
+        try_pair_chaos(ChaosPlan::none())
+    }
+
+    fn try_pair_chaos(chaos: ChaosPlan) -> Option<TcpLoopback> {
+        let mut t = TcpLoopback::with_chaos(chaos).ok()?;
         match (t.register(NodeId(1)), t.register(NodeId(2))) {
             (Ok(()), Ok(())) => Some(t),
             _ => None,
@@ -254,6 +406,20 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         got
+    }
+
+    /// Pumps until at least `want` chaos records accumulate.
+    fn pump_records(t: &mut TcpLoopback, want: usize) -> Vec<ChaosRecord> {
+        let mut records = Vec::new();
+        for _ in 0..2000 {
+            t.advance().expect("advance");
+            records.extend(t.take_chaos());
+            if records.len() >= want {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        records
     }
 
     #[test]
@@ -294,5 +460,72 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert!(got.iter().any(|d| d.to == NodeId(1)));
         assert!(got.iter().any(|d| d.to == NodeId(2)));
+    }
+
+    #[test]
+    fn corrupted_stream_rejects_and_link_recovers() {
+        // Corrupt exactly the early frames: with p=1.0 every send is
+        // mangled, so nothing may ever deliver and each doomed stream
+        // must surface a typed reject instead of erroring the transport.
+        let Some(mut t) = try_pair_chaos(ChaosPlan::corrupting(13, 1.0)) else {
+            eprintln!("skipping: loopback TCP unavailable");
+            return;
+        };
+        assert!(!t.reliable());
+        t.send(NodeId(1), NodeId(2), Frame::Control(Message::Have { piece: PieceId(3) }))
+            .expect("send");
+        let records = pump_records(&mut t, 2);
+        assert!(
+            records.iter().any(|r| matches!(r, ChaosRecord::Inject { .. })),
+            "injection must be logged: {records:?}"
+        );
+        // A truncate-to-nothing mutation leaves no receiver-side evidence;
+        // any other mutation must produce a reject. Either way the
+        // transport stayed alive:
+        t.send(NodeId(2), NodeId(1), Frame::Control(Message::Have { piece: PieceId(5) }))
+            .expect("transport must survive a poisoned link");
+        assert_eq!(t.stats().delivered, 0, "no corrupted frame may deliver silently");
+    }
+
+    #[test]
+    fn chaos_reset_kills_the_stream_mid_frame() {
+        let plan = ChaosPlan { reset_prob: 1.0, ..ChaosPlan::none() };
+        let Some(mut t) = try_pair_chaos(plan) else {
+            eprintln!("skipping: loopback TCP unavailable");
+            return;
+        };
+        t.send(NodeId(1), NodeId(2), Frame::PieceData { piece: PieceId(0), payload: vec![7; 512] })
+            .expect("send");
+        let records = pump_records(&mut t, 2);
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, ChaosRecord::Inject { action: ChaosAction::Reset, .. })));
+        assert!(
+            records.iter().any(
+                |r| matches!(r, ChaosRecord::Reject(rj) if rj.cause == RejectCause::Reset)
+            ),
+            "receiver must observe the mid-frame cut: {records:?}"
+        );
+        assert_eq!(t.stats().delivered, 0);
+    }
+
+    #[test]
+    fn disconnect_cuts_both_directions_and_reconnect_revives() {
+        let Some(mut t) = try_pair() else {
+            eprintln!("skipping: loopback TCP unavailable");
+            return;
+        };
+        t.disconnect(NodeId(2));
+        t.send(NodeId(1), NodeId(2), Frame::Control(Message::Have { piece: PieceId(1) }))
+            .expect("send to gone peer is a drop, not an error");
+        t.send(NodeId(2), NodeId(1), Frame::Control(Message::Have { piece: PieceId(2) }))
+            .expect("send from gone peer is a drop, not an error");
+        assert_eq!(t.stats().dropped, 2);
+        t.reconnect(NodeId(2)).expect("reconnect");
+        t.send(NodeId(1), NodeId(2), Frame::Control(Message::Have { piece: PieceId(3) }))
+            .expect("send");
+        let got = pump(&mut t, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].frame, Frame::Control(Message::Have { piece: PieceId(3) }));
     }
 }

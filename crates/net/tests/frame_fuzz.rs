@@ -1,0 +1,185 @@
+//! Frame codec edge cases: zero-length frames, max-length frames, bogus
+//! length prefixes, and delivery split across arbitrary poll boundaries.
+//!
+//! These run against the public API only — the same surface the chaos
+//! layer mutates — and pin down the codec's contract: every input either
+//! yields a complete, checksum-verified [`Frame`] or a typed
+//! [`FrameError`]; nothing panics and nothing desyncs silently.
+
+use tchain_net::{
+    frame_checksum, Frame, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_BODY,
+};
+use tchain_proto::wire::Message;
+use tchain_proto::PieceId;
+use tchain_sim::{NodeId, SimRng};
+
+/// Hand-builds a raw frame with the given kind and body, with a correct
+/// checksum unless one is supplied.
+fn raw_frame(kind: u8, body: &[u8], checksum: Option<u32>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&checksum.unwrap_or_else(|| frame_checksum(kind, body)).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+#[test]
+fn zero_length_piece_payload_roundtrips() {
+    let f = Frame::PieceData { piece: PieceId(9), payload: Vec::new() };
+    let mut dec = FrameDecoder::new();
+    dec.push(&f.encode());
+    assert_eq!(dec.next_frame().expect("decode"), Some(f));
+    assert_eq!(dec.next_frame().expect("idle"), None);
+    dec.finish().expect("clean stream");
+}
+
+#[test]
+fn zero_length_body_is_a_typed_error_never_a_panic() {
+    // A body_len of 0 is structurally valid framing but no message
+    // decodes from zero bytes: control bodies need a tag byte and piece
+    // bodies their piece-id header.
+    for kind in [1u8, 2u8] {
+        let mut dec = FrameDecoder::new();
+        dec.push(&raw_frame(kind, &[], None));
+        let err = dec.next_frame().expect_err("empty body must not decode");
+        assert!(
+            matches!(err, FrameError::Control(_) | FrameError::TruncatedBody),
+            "kind {kind}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn max_length_frame_survives_split_delivery() {
+    // The largest body the codec admits is a PieceData at the ciphertext
+    // bound; feed it in ragged ~1 MiB slices to cross many poll calls.
+    let payload_len = (MAX_FRAME_BODY - 1024 - 4) as usize;
+    let f = Frame::PieceData { piece: PieceId(1), payload: vec![0x5A; payload_len] };
+    let enc = f.encode();
+    assert_eq!(enc.len(), FRAME_HEADER_LEN + 4 + payload_len);
+    let mut dec = FrameDecoder::new();
+    let mut fed = 0usize;
+    let mut got = None;
+    while fed < enc.len() {
+        let chunk = (1 << 20) + 7;
+        let end = (fed + chunk).min(enc.len());
+        dec.push(&enc[fed..end]);
+        fed = end;
+        if let Some(frame) = dec.next_frame().expect("no error mid-stream") {
+            got = Some(frame);
+        }
+    }
+    assert_eq!(got, Some(f));
+    dec.finish().expect("clean stream");
+}
+
+#[test]
+fn length_prefix_past_the_bound_errors_before_any_body_arrives() {
+    let mut bytes = (MAX_FRAME_BODY + 1).to_le_bytes().to_vec();
+    bytes.push(1);
+    let mut dec = FrameDecoder::new();
+    dec.push(&bytes);
+    match dec.next_frame() {
+        Err(FrameError::Oversized { got }) => assert_eq!(got, MAX_FRAME_BODY + 1),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn length_prefix_larger_than_buffered_bytes_just_waits() {
+    // An in-bounds length that exceeds what has arrived is not an error —
+    // the decoder parks until the rest of the body shows up.
+    let f = Frame::Control(Message::ReceptionReport { requestor: NodeId(3), piece: PieceId(8) });
+    let enc = f.encode();
+    let mut dec = FrameDecoder::new();
+    dec.push(&enc[..FRAME_HEADER_LEN + 1]);
+    assert_eq!(dec.next_frame().expect("waiting is not an error"), None);
+    assert!(dec.finish().is_err(), "a parked partial frame is a truncated stream");
+    dec.push(&enc[FRAME_HEADER_LEN + 1..]);
+    assert_eq!(dec.next_frame().expect("decode"), Some(f));
+    dec.finish().expect("clean stream");
+}
+
+#[test]
+fn every_split_point_of_a_small_stream_decodes_identically() {
+    let frames = vec![
+        Frame::Control(Message::Have { piece: PieceId(5) }),
+        Frame::PieceData { piece: PieceId(5), payload: vec![0xEE; 37] },
+        Frame::Control(Message::ReceptionReport { requestor: NodeId(2), piece: PieceId(5) }),
+    ];
+    let mut stream = Vec::new();
+    for f in &frames {
+        stream.extend_from_slice(&f.encode());
+    }
+    for split in 0..=stream.len() {
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for part in [&stream[..split], &stream[split..]] {
+            dec.push(part);
+            while let Some(f) = dec.next_frame().expect("valid stream") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames, "split at {split}");
+        dec.finish().expect("clean stream");
+    }
+}
+
+#[test]
+fn random_chunking_never_changes_the_decoded_sequence() {
+    // Deterministic fuzz: one valid stream, many RNG-drawn chunkings.
+    let frames: Vec<Frame> = (0..16)
+        .map(|i| {
+            if i % 2 == 0 {
+                Frame::Control(Message::Have { piece: PieceId(i) })
+            } else {
+                Frame::PieceData { piece: PieceId(i), payload: vec![i as u8; 11 * i as usize] }
+            }
+        })
+        .collect();
+    let mut stream = Vec::new();
+    for f in &frames {
+        stream.extend_from_slice(&f.encode());
+    }
+    let mut rng = SimRng::new(0xF422);
+    for _ in 0..64 {
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut fed = 0usize;
+        while fed < stream.len() {
+            let end = (fed + 1 + rng.below(97)).min(stream.len());
+            dec.push(&stream[fed..end]);
+            fed = end;
+            while let Some(f) = dec.next_frame().expect("valid stream") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        dec.finish().expect("clean stream");
+    }
+}
+
+#[test]
+fn corrupt_checksum_is_rejected_with_both_sums_reported() {
+    let f = Frame::Control(Message::Have { piece: PieceId(2) });
+    let enc = f.encode();
+    let body = &enc[FRAME_HEADER_LEN..];
+    let bad = raw_frame(enc[4], body, Some(0xDEAD_BEEF));
+    let mut dec = FrameDecoder::new();
+    dec.push(&bad);
+    match dec.next_frame() {
+        Err(FrameError::ChecksumMismatch { expected, got }) => {
+            assert_eq!(expected, 0xDEAD_BEEF);
+            assert_eq!(got, frame_checksum(enc[4], body));
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_kind_byte_is_rejected() {
+    let mut dec = FrameDecoder::new();
+    dec.push(&raw_frame(0x7F, &[1, 2, 3], None));
+    assert!(matches!(dec.next_frame(), Err(FrameError::UnknownKind(0x7F))));
+}

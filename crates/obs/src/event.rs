@@ -35,6 +35,42 @@ pub enum RetryMsg {
     Key,
 }
 
+/// What the chaos layer did to a frame in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ChaosKind {
+    /// One byte of the encoding was XOR-mangled.
+    BitFlip,
+    /// The encoding was cut short.
+    Truncate,
+    /// The length prefix was rewritten past the codec bound.
+    OversizeLen,
+    /// The frame was delivered twice.
+    Duplicate,
+    /// The frame was held back past later traffic on its link.
+    Reorder,
+    /// The connection was reset mid-stream.
+    Reset,
+}
+
+/// Why a receiver rejected a frame or stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RejectKind {
+    /// Length prefix above the codec bound.
+    Oversized,
+    /// Unknown frame kind byte.
+    UnknownKind,
+    /// Header checksum did not match the body.
+    ChecksumMismatch,
+    /// Body failed strict decoding.
+    Malformed,
+    /// The stream ended inside a frame.
+    Truncated,
+    /// The connection was reset.
+    Reset,
+}
+
 /// One structured trace event.
 ///
 /// The `type` tag in the serialized form is the variant name in
@@ -199,6 +235,40 @@ pub enum Event {
         /// Scheduled delivery time (simulated seconds).
         until: f64,
     },
+    /// The chaos layer injected a byzantine fault into a frame.
+    ChaosInject {
+        /// Sender of the targeted frame.
+        from: u32,
+        /// Intended recipient.
+        to: u32,
+        /// What was done to it.
+        kind: ChaosKind,
+    },
+    /// A receiver rejected a frame or stream from a peer.
+    FrameReject {
+        /// The rejecting receiver.
+        peer: u32,
+        /// The apparent offender (sending side of the link).
+        offender: u32,
+        /// Why it was rejected.
+        kind: RejectKind,
+    },
+    /// A peer crossed the strike limit and was quarantined.
+    PeerQuarantine {
+        /// The peer applying the quarantine.
+        peer: u32,
+        /// The quarantined offender.
+        offender: u32,
+        /// Quarantine expiry on the local clock, seconds.
+        until: f64,
+    },
+    /// A crashed peer rejoined the swarm from a checkpoint.
+    PeerRejoin {
+        /// The rejoining peer.
+        peer: u32,
+        /// Restart generation (0 = original incarnation).
+        generation: u32,
+    },
 }
 
 impl Event {
@@ -224,6 +294,10 @@ impl Event {
             Event::PeerCrash { .. } => "peer_crash",
             Event::CtrlDropped { .. } => "ctrl_dropped",
             Event::CtrlDelayed { .. } => "ctrl_delayed",
+            Event::ChaosInject { .. } => "chaos_inject",
+            Event::FrameReject { .. } => "frame_reject",
+            Event::PeerQuarantine { .. } => "peer_quarantine",
+            Event::PeerRejoin { .. } => "peer_rejoin",
         }
     }
 }

@@ -34,7 +34,7 @@ mod registry;
 mod ring;
 mod tracer;
 
-pub use event::{EndCause, Event, RetryMsg, TraceRecord};
+pub use event::{ChaosKind, EndCause, Event, RejectKind, RetryMsg, TraceRecord};
 pub use export::{to_chrome_trace, to_jsonl, validate_jsonl};
 pub use profile::{Phase, PhaseProfile, PhaseProfiler, PhaseSummary, HIST_BUCKETS};
 pub use registry::{ExportStats, MetricMap, StatsRegistry};

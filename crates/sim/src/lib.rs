@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod clock;
 pub mod fault;
 mod flow;
@@ -45,6 +46,7 @@ mod queue;
 mod rng;
 mod units;
 
+pub use chaos::{ChaosAction, ChaosPlan, ChaosState, ChaosStats, CrashRestart, FrameMutation};
 pub use clock::{Clock, Periodic};
 pub use fault::{CrashSpec, FaultPlan, FaultState, FaultStats, LatencyModel, Partition, Route};
 pub use flow::{Flow, FlowId, FlowScheduler, FlowStats};

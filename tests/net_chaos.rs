@@ -1,0 +1,82 @@
+//! PR 6 acceptance: byzantine chaos against the executable net runtime.
+//!
+//! Corruption rates from 0 to 10 %, a byzantine mix of the full fault
+//! taxonomy, and a crash-restart of 25 % of the compliant leechers must
+//! all leave the T-Chain safety properties intact: every compliant
+//! leecher assembles a byte-identical file, zero key releases travel
+//! without a reciprocation behind them, and same-seed chaos runs stay
+//! bit-identical.
+
+use tchain::net::{run_swarm, SwarmConfig};
+use tchain::sim::ChaosPlan;
+
+fn chaotic(chaos: ChaosPlan) -> SwarmConfig {
+    SwarmConfig { peers: 10, seed: 0xC405, chaos, max_ticks: 20_000, ..SwarmConfig::default() }
+}
+
+#[test]
+fn corruption_sweep_zero_to_ten_percent_preserves_safety() {
+    for (i, rate) in [0.0, 0.02, 0.05, 0.10].into_iter().enumerate() {
+        let cfg = chaotic(ChaosPlan::corrupting(31 + i as u64, rate));
+        let report = run_swarm(cfg).expect("mesh transport");
+        assert_eq!(
+            report.completed_compliant, report.total_compliant,
+            "all compliant leechers complete at corruption {rate}"
+        );
+        assert!(report.plaintext_ok, "byte-identical plaintexts at corruption {rate}");
+        assert!(
+            report.violations.is_empty(),
+            "zero unreciprocated key releases at corruption {rate}: {:?}",
+            report.violations
+        );
+        if rate > 0.0 {
+            assert!(report.chaos_injects > 0, "corruption {rate} must actually inject");
+            assert!(report.frame_rejects > 0, "corruption must surface as typed rejects");
+        } else {
+            assert_eq!(report.chaos_injects, 0, "rate 0 must be the untouched fast path");
+        }
+    }
+}
+
+#[test]
+fn byzantine_mix_preserves_safety() {
+    let report = run_swarm(chaotic(ChaosPlan::byzantine(7, 0.08))).expect("run");
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.chaos_injects > 0);
+}
+
+#[test]
+fn quarter_crash_restart_rejoins_and_completes() {
+    let chaos = ChaosPlan::corrupting(11, 0.02).with_crash_restart(8.0, 0.25, 6.0);
+    let report = run_swarm(chaotic(chaos)).expect("run");
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.crashes > 0, "the crash event must fire");
+    assert_eq!(report.rejoins, report.crashes, "every crashed peer rejoins from checkpoint");
+    assert!(report.plaintext_ok, "restored peers re-derive byte-identical plaintexts");
+}
+
+#[test]
+fn same_seed_chaos_runs_are_bit_identical() {
+    let mk = || chaotic(ChaosPlan::byzantine(3, 0.06).with_crash_restart(8.0, 0.25, 6.0));
+    let a = run_swarm(mk()).expect("run a");
+    let b = run_swarm(mk()).expect("run b");
+    assert_eq!(a.fingerprint, b.fingerprint, "frame-stream digest");
+    assert_eq!(a.ticks, b.ticks);
+    assert_eq!(a.chaos_injects, b.chaos_injects);
+    assert_eq!(a.frame_rejects, b.frame_rejects);
+    assert_eq!(a.crashes, b.crashes);
+    assert_eq!(a.rejoins, b.rejoins);
+    assert_eq!(a.completion_times, b.completion_times);
+    assert_eq!(a.peer_counters, b.peer_counters);
+}
+
+#[test]
+fn quarantines_are_bounded_and_do_not_starve_the_swarm() {
+    // Strikes punish apparent offenders, but under injected chaos every
+    // "offender" is innocent — the policy must tolerate false positives
+    // without losing liveness. Completion under sustained 8 % corruption
+    // with quarantines firing is exactly that bound.
+    let report = run_swarm(chaotic(ChaosPlan::corrupting(5, 0.08))).expect("run");
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.quarantines > 0, "8 % corruption should trip the strike limit");
+}
