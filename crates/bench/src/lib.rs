@@ -29,10 +29,44 @@ pub fn bench_run(proto: Proto, n: usize, fr: f64, seed: u64) -> usize {
     out.compliant_times.len()
 }
 
+/// Times one swarm run on the channel mesh with telemetry on or off and
+/// returns `(wall_clock_s, report)`.
+fn timed_swarm(telemetry: bool) -> (f64, tchain_net::SwarmReport) {
+    let cfg = tchain_net::SwarmConfig {
+        peers: 8,
+        seed: 0x7E1E,
+        telemetry,
+        trace_capacity: 1 << 14,
+        ..tchain_net::SwarmConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let report = tchain_net::run_swarm(cfg).expect("channel mesh cannot fail");
+    (start.elapsed().as_secs_f64(), report)
+}
+
+/// Measures the cost of causal tracing + per-peer metrics on the net
+/// runtime: the same 8-peer swarm with telemetry off and on, plus the
+/// PR 7 invariant that the stamps never move the delivered-frame
+/// fingerprint. Returns the JSON fragment folded into `BENCH_obs.json`.
+fn telemetry_overhead_json() -> String {
+    let (off_s, off) = timed_swarm(false);
+    let (on_s, on) = timed_swarm(true);
+    let trace_events: usize = on.peer_rings.iter().map(|(_, r)| r.len()).sum();
+    format!(
+        "{{\"peers\":8,\"off_s\":{:.6},\"on_s\":{:.6},\"overhead_pct\":{:.1},\"fingerprint_preserved\":{},\"trace_events\":{},\"fairness_index\":{:.6}}}",
+        off_s,
+        on_s,
+        100.0 * (on_s - off_s) / off_s.max(1e-9),
+        on.fingerprint == off.fingerprint && on.ticks == off.ticks,
+        trace_events,
+        on.telemetry.as_ref().map(|t| t.fairness_index()).unwrap_or(0.0),
+    )
+}
+
 /// Runs a scaled-down traced+profiled flash crowd and returns the
 /// machine-readable `BENCH_obs.json` payload: wall clock, event-ring
-/// stats and the per-phase main-loop profile. Hand-formatted JSON so the
-/// bench crate needs no serde.
+/// stats, the per-phase main-loop profile and the net-runtime telemetry
+/// overhead. Hand-formatted JSON so the bench crate needs no serde.
 pub fn obs_summary_json() -> String {
     let seed = 0xB0B5;
     let plan = tiny_plan(16, 0.25, seed);
@@ -56,13 +90,14 @@ pub fn obs_summary_json() -> String {
         })
         .collect();
     format!(
-        "{{\"wall_clock_s\":{:.6},\"sim_time\":{:.3},\"events_recorded\":{},\"peak_event_depth\":{},\"compliant_finished\":{},\"phases\":[{}]}}\n",
+        "{{\"wall_clock_s\":{:.6},\"sim_time\":{:.3},\"events_recorded\":{},\"peak_event_depth\":{},\"compliant_finished\":{},\"phases\":[{}],\"net_telemetry\":{}}}\n",
         out.wall_clock_s,
         out.sim_time,
         out.trace_records.len(),
         out.peak_event_depth,
         out.compliant_times.len(),
-        phases.join(",")
+        phases.join(","),
+        telemetry_overhead_json(),
     )
 }
 
@@ -344,6 +379,10 @@ mod tests {
         assert!(json.contains("\"phase\":\"flow_advance\""));
         // The traced run must actually have buffered events.
         assert!(!json.contains("\"events_recorded\":0,"));
+        // The telemetry leg must confirm the zero-perturbation claim
+        // and record a non-empty causal trace.
+        assert!(json.contains("\"fingerprint_preserved\":true"), "stamps perturbed: {json}");
+        assert!(!json.contains("\"trace_events\":0,"), "telemetry leg traced: {json}");
         // Refresh the committed trajectory whenever the suite runs.
         let path = write_obs_summary().expect("write BENCH_obs.json");
         assert!(path.ends_with("BENCH_obs.json"));

@@ -17,6 +17,7 @@ pub mod fig13;
 pub mod loss_sweep;
 pub mod net_chaos;
 pub mod net_swarm;
+pub mod net_telemetry;
 pub mod overhead;
 pub mod streaming;
 pub mod table2;

@@ -37,6 +37,50 @@ pub const MAX_FRAME_BODY: u32 = MAX_CIPHERTEXT_LEN + 1024;
 
 const KIND_CONTROL: u8 = 1;
 const KIND_PIECE_DATA: u8 = 2;
+const KIND_CONTROL_META: u8 = 3;
+const KIND_PIECE_META: u8 = 4;
+
+/// Encoded size of a [`CausalMeta`] block.
+pub const CAUSAL_META_LEN: usize = 20;
+
+/// Optional causal telemetry stamp carried in front of a frame body.
+///
+/// Kinds 3 and 4 are the meta-bearing twins of the control and
+/// piece-data kinds: their body is `[origin u32][lamport u64][span u64]`
+/// (all LE) followed by the ordinary inner body. Telemetry-disabled
+/// peers emit kinds 1 and 2, so the wire image of a disabled run is
+/// byte-identical to one built before this header existed; the checksum
+/// covers the meta block too, so the bit-flip fuzz guarantee extends to
+/// these kinds unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalMeta {
+    /// Sending peer.
+    pub origin: u32,
+    /// Sender's Lamport clock at send time.
+    pub lamport: u64,
+    /// Packed transaction span the frame belongs to (0 = none).
+    pub span: u64,
+}
+
+impl CausalMeta {
+    /// The 20-byte LE encoding.
+    pub fn to_bytes(&self) -> [u8; CAUSAL_META_LEN] {
+        let mut b = [0u8; CAUSAL_META_LEN];
+        b[..4].copy_from_slice(&self.origin.to_le_bytes());
+        b[4..12].copy_from_slice(&self.lamport.to_le_bytes());
+        b[12..].copy_from_slice(&self.span.to_le_bytes());
+        b
+    }
+
+    /// Decode from exactly [`CAUSAL_META_LEN`] bytes.
+    fn from_bytes(b: &[u8]) -> Self {
+        CausalMeta {
+            origin: u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+            lamport: u64::from_le_bytes([b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11]]),
+            span: u64::from_le_bytes([b[12], b[13], b[14], b[15], b[16], b[17], b[18], b[19]]),
+        }
+    }
+}
 
 /// FNV-1a over the kind byte followed by the body bytes.
 ///
@@ -166,6 +210,56 @@ impl Frame {
                 Frame::PieceData { payload, .. } => 4 + payload.len(),
             }
     }
+
+    /// Appends the framed encoding with an optional [`CausalMeta`] stamp.
+    ///
+    /// `None` degrades to [`Frame::encode_into`] — same bytes as a
+    /// telemetry-unaware sender, which is what keeps disabled runs
+    /// bit-identical on the wire.
+    pub fn encode_with_meta_into(&self, meta: Option<&CausalMeta>, out: &mut Vec<u8>) {
+        let Some(meta) = meta else {
+            self.encode_into(out);
+            return;
+        };
+        let mb = meta.to_bytes();
+        match self {
+            Frame::Control(msg) => {
+                let body = msg.encode();
+                out.extend_from_slice(&((CAUSAL_META_LEN + body.len()) as u32).to_le_bytes());
+                out.push(KIND_CONTROL_META);
+                let mut h = frame_checksum(KIND_CONTROL_META, &mb);
+                h = fnv1a_step(h, &body);
+                out.extend_from_slice(&h.to_le_bytes());
+                out.extend_from_slice(&mb);
+                out.extend_from_slice(&body);
+            }
+            Frame::PieceData { piece, payload } => {
+                out.extend_from_slice(
+                    &((CAUSAL_META_LEN + 4 + payload.len()) as u32).to_le_bytes(),
+                );
+                out.push(KIND_PIECE_META);
+                let mut h = frame_checksum(KIND_PIECE_META, &mb);
+                h = fnv1a_step(h, &piece.0.to_le_bytes());
+                h = fnv1a_step(h, payload);
+                out.extend_from_slice(&h.to_le_bytes());
+                out.extend_from_slice(&mb);
+                out.extend_from_slice(&piece.0.to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+        }
+    }
+
+    /// The meta-stamped framed encoding as a fresh vector.
+    pub fn encode_with_meta(&self, meta: Option<&CausalMeta>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len_with_meta(meta.is_some()));
+        self.encode_with_meta_into(meta, &mut out);
+        out
+    }
+
+    /// Exact framed size with or without a meta stamp.
+    pub fn encoded_len_with_meta(&self, has_meta: bool) -> usize {
+        self.encoded_len() + if has_meta { CAUSAL_META_LEN } else { 0 }
+    }
 }
 
 /// Incremental strict frame parser over a byte stream.
@@ -204,6 +298,20 @@ impl FrameDecoder {
     /// needed. After an `Err` the stream is corrupt and the caller should
     /// drop the connection (strict framing has no resync point).
     ///
+    /// Discards any [`CausalMeta`] stamp; telemetry-aware receivers use
+    /// [`FrameDecoder::next_frame_meta`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] on an oversized, unknown, corrupt or
+    /// malformed frame.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        Ok(self.next_frame_meta()?.map(|(frame, _)| frame))
+    }
+
+    /// Pops the next complete frame together with its [`CausalMeta`]
+    /// stamp, if the sender attached one.
+    ///
     /// Header fields are validated as soon as their bytes arrive — an
     /// oversized length prefix is rejected after 4 bytes, before any
     /// allocation for the claimed body.
@@ -212,7 +320,7 @@ impl FrameDecoder {
     ///
     /// Returns a [`FrameError`] on an oversized, unknown, corrupt or
     /// malformed frame.
-    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+    pub fn next_frame_meta(&mut self) -> Result<Option<(Frame, Option<CausalMeta>)>, FrameError> {
         let avail = &self.buf[self.head..];
         if avail.len() < 4 {
             return Ok(None);
@@ -225,7 +333,7 @@ impl FrameDecoder {
             return Ok(None);
         }
         let kind = avail[4];
-        if kind != KIND_CONTROL && kind != KIND_PIECE_DATA {
+        if !(KIND_CONTROL..=KIND_PIECE_META).contains(&kind) {
             return Err(FrameError::UnknownKind(kind));
         }
         if avail.len() < FRAME_HEADER_LEN {
@@ -241,18 +349,29 @@ impl FrameDecoder {
         if got != expected {
             return Err(FrameError::ChecksumMismatch { expected, got });
         }
+        let (meta, inner) = if kind == KIND_CONTROL_META || kind == KIND_PIECE_META {
+            if body.len() < CAUSAL_META_LEN {
+                return Err(FrameError::TruncatedBody);
+            }
+            (
+                Some(CausalMeta::from_bytes(&body[..CAUSAL_META_LEN])),
+                &body[CAUSAL_META_LEN..],
+            )
+        } else {
+            (None, body)
+        };
         let frame = match kind {
-            KIND_CONTROL => Frame::Control(Message::decode(body)?),
+            KIND_CONTROL | KIND_CONTROL_META => Frame::Control(Message::decode(inner)?),
             _ => {
-                if body.len() < 4 {
+                if inner.len() < 4 {
                     return Err(FrameError::TruncatedBody);
                 }
-                let piece = PieceId(u32::from_le_bytes([body[0], body[1], body[2], body[3]]));
-                Frame::PieceData { piece, payload: body[4..].to_vec() }
+                let piece = PieceId(u32::from_le_bytes([inner[0], inner[1], inner[2], inner[3]]));
+                Frame::PieceData { piece, payload: inner[4..].to_vec() }
             }
         };
         self.head += total;
-        Ok(Some(frame))
+        Ok(Some((frame, meta)))
     }
 
     /// Declares the stream finished (peer closed or reset the link).
@@ -353,6 +472,64 @@ mod tests {
         assert_eq!(dec.finish(), Err(FrameError::TruncatedStream));
         dec.push(&enc[enc.len() - 1..]);
         assert_eq!(dec.next_frame(), Ok(Some(f)));
+    }
+
+    #[test]
+    fn meta_stamp_roundtrips_and_plain_decoder_ignores_it() {
+        let meta = CausalMeta { origin: 7, lamport: 0x1234_5678_9ABC, span: 42 };
+        for f in frames() {
+            let enc = f.encode_with_meta(Some(&meta));
+            assert_eq!(enc.len(), f.encoded_len_with_meta(true));
+            assert_eq!(enc.len(), f.encoded_len() + CAUSAL_META_LEN);
+            let mut dec = FrameDecoder::new();
+            dec.push(&enc);
+            let (got, got_meta) = dec.next_frame_meta().expect("clean").expect("complete");
+            assert_eq!(got, f);
+            assert_eq!(got_meta, Some(meta));
+            // The meta-unaware entry point yields the same frame.
+            let mut dec = FrameDecoder::new();
+            dec.push(&enc);
+            assert_eq!(dec.next_frame(), Ok(Some(f.clone())));
+            // And a None meta produces the legacy byte image exactly.
+            assert_eq!(f.encode_with_meta(None), f.encode());
+        }
+    }
+
+    #[test]
+    fn meta_frame_shorter_than_meta_block_rejected() {
+        // kind 3 with a 4-byte body: checksum valid, meta block missing.
+        let body = [1u8, 2, 3, 4];
+        let mut bytes = vec![4, 0, 0, 0, KIND_CONTROL_META];
+        bytes.extend_from_slice(&frame_checksum(KIND_CONTROL_META, &body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame_meta(), Err(FrameError::TruncatedBody));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected_on_meta_frames() {
+        let meta = CausalMeta { origin: 3, lamport: 99, span: 0xDEAD };
+        let f = Frame::Control(Message::ReceptionReport {
+            requestor: NodeId(4),
+            piece: PieceId(7),
+        });
+        let enc = f.encode_with_meta(Some(&meta));
+        for byte in 0..enc.len() {
+            for bit in 0..8u8 {
+                let mut mutated = enc.clone();
+                mutated[byte] ^= 1 << bit;
+                let mut dec = FrameDecoder::new();
+                dec.push(&mutated);
+                match dec.next_frame_meta() {
+                    Ok(None) => assert_eq!(dec.finish(), Err(FrameError::TruncatedStream)),
+                    Ok(Some(got)) => {
+                        panic!("flip byte {byte} bit {bit} decoded silently as {got:?}")
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
     }
 
     #[test]

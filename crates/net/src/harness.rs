@@ -24,13 +24,16 @@
 //! comparable with the fluid simulator's.
 
 use crate::content::{fingerprint, mix64, Content};
-use crate::frame::{Frame, FrameError};
+use crate::frame::{CausalMeta, Frame, FrameError};
 use crate::runtime::{Checkpoint, NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime};
+use crate::telemetry::{virt_ms, FlightDump, FlightRecorder, PeerTelemetry, SwarmTelemetry};
 use crate::transport::{
     ChannelMesh, ChaosRecord, Delivery, NetError, RejectCause, Transport, TransportStats,
 };
 use std::collections::BTreeMap;
-use tchain_obs::{ChaosKind, Event, RejectKind, Tracer};
+use tchain_obs::{
+    trace_event, ChaosKind, Event, MetricName, RejectKind, TraceRecord, Tracer, WireMsg,
+};
 use tchain_proto::Tracker;
 use tchain_proto::wire::Message;
 use tchain_sim::{ChaosAction, ChaosPlan, ChaosState, FaultPlan, FrameMutation, NodeId, SimRng};
@@ -61,6 +64,11 @@ pub struct SwarmConfig {
     pub max_ticks: u64,
     /// Capacity of the obs event ring (0 disables tracing).
     pub trace_capacity: usize,
+    /// Swarm telemetry: per-peer causal tracers (Lamport-stamped frame
+    /// metadata on the wire), metric histograms, swarm aggregation and
+    /// the flight recorder. Off by default — a disabled run sends
+    /// byte-identical frames and keeps its fingerprint.
+    pub telemetry: bool,
 }
 
 impl Default for SwarmConfig {
@@ -77,6 +85,7 @@ impl Default for SwarmConfig {
             tick_dt: 1.0,
             max_ticks: 4000,
             trace_capacity: 4096,
+            telemetry: false,
         }
     }
 }
@@ -176,16 +185,14 @@ impl Observer {
                         }
                     }
                 }
-                if tracer.is_enabled() {
-                    tracer.record(now, Event::TxnStart {
-                        txn: pack(from, to, p),
-                        chain: chain as u64,
-                        donor: from,
-                        requestor: to,
-                        payee,
-                        piece: p,
-                    });
-                }
+                trace_event!(tracer, now, Event::TxnStart {
+                    txn: pack(from, to, p),
+                    chain: chain as u64,
+                    donor: from,
+                    requestor: to,
+                    payee,
+                    piece: p,
+                });
             }
             Message::ReceptionReport { requestor, piece } => {
                 self.reports += 1;
@@ -196,14 +203,12 @@ impl Observer {
                         }
                     }
                 }
-                if tracer.is_enabled() {
-                    tracer.record(now, Event::ReportSent {
-                        txn: pack(to, requestor.0, piece.0),
-                        from,
-                        to,
-                        falsified: false,
-                    });
-                }
+                trace_event!(tracer, now, Event::ReportSent {
+                    txn: pack(to, requestor.0, piece.0),
+                    from,
+                    to,
+                    falsified: false,
+                });
             }
             Message::KeyRelease { piece, requestor, .. } => {
                 let p = piece.0;
@@ -233,14 +238,12 @@ impl Observer {
                         ));
                     }
                 }
-                if tracer.is_enabled() {
-                    tracer.record(now, Event::KeySent {
-                        txn: pack(from, to, p),
-                        from,
-                        to,
-                        escrowed: escrowed == Some(true),
-                    });
-                }
+                trace_event!(tracer, now, Event::KeySent {
+                    txn: pack(from, to, p),
+                    from,
+                    to,
+                    escrowed: escrowed == Some(true),
+                });
             }
             _ => {}
         }
@@ -331,10 +334,204 @@ impl Observer {
     pub fn chains_terminated(&self) -> usize {
         self.chains.iter().filter(|c| c.terminated).count()
     }
+
+    /// Transactions per chain, in chain-open order (telemetry feeds its
+    /// chain-length histogram from this).
+    pub fn chain_lengths(&self) -> Vec<u32> {
+        self.chains.iter().map(|c| c.len).collect()
+    }
 }
 
 fn pack(a: u32, b: u32, p: u32) -> u64 {
     (u64::from(a) << 42) | (u64::from(b) << 21) | u64::from(p)
+}
+
+/// Classifies a frame as a span-carrying wire message and derives its
+/// transaction span id. Both endpoints compute the same span because
+/// the sender stamps it into the [`CausalMeta`] the receiver reads —
+/// this function only runs on the send side.
+fn wire_view(from: u32, to: u32, frame: &Frame) -> Option<(WireMsg, u64)> {
+    match frame {
+        Frame::PieceData { piece, .. } => Some((WireMsg::PieceData, pack(from, to, piece.0))),
+        Frame::Control(Message::PieceUpload { piece, .. }) => {
+            Some((WireMsg::Upload, pack(from, to, piece.0)))
+        }
+        Frame::Control(Message::ReceptionReport { requestor, piece }) => {
+            Some((WireMsg::Report, pack(to, requestor.0, piece.0)))
+        }
+        Frame::Control(Message::KeyRelease { piece, .. }) => {
+            Some((WireMsg::Key, pack(from, to, piece.0)))
+        }
+        _ => None,
+    }
+}
+
+/// One peer's causal trace ring, keyed by peer id.
+pub type PeerRing = (u32, Vec<TraceRecord>);
+
+/// Harness-side telemetry, alive only while [`SwarmConfig::telemetry`]
+/// is set: one causal [`Tracer`] and one [`PeerTelemetry`] per peer,
+/// pending-interval maps feeding the latency histograms, and the
+/// flight recorder. The whole struct sits behind an `Option` so a
+/// disabled run never constructs (or consults) any of it.
+struct TelemetryState {
+    capacity: usize,
+    tracers: BTreeMap<u32, Tracer>,
+    metrics: BTreeMap<u32, PeerTelemetry>,
+    /// `(donor, requestor, piece)` → PieceUpload delivery time.
+    upload_seen: BTreeMap<(u32, u32, u32), f64>,
+    /// `(requestor, piece)` → first PieceData delivery time.
+    data_seen: BTreeMap<(u32, u32), f64>,
+    /// `(payee, piece)` → §II-B4 escrow handoff delivery time.
+    escrow_since: BTreeMap<(u32, u32), f64>,
+    recorder: FlightRecorder,
+}
+
+impl TelemetryState {
+    fn new(capacity: usize) -> Self {
+        TelemetryState {
+            capacity,
+            tracers: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+            upload_seen: BTreeMap::new(),
+            data_seen: BTreeMap::new(),
+            escrow_since: BTreeMap::new(),
+            recorder: FlightRecorder::new(64, 8),
+        }
+    }
+
+    fn tracer(&mut self, peer: u32) -> &mut Tracer {
+        let cap = self.capacity;
+        self.tracers.entry(peer).or_insert_with(|| Tracer::for_peer(peer, cap))
+    }
+
+    fn metric(&mut self, peer: u32) -> &mut PeerTelemetry {
+        self.metrics.entry(peer).or_insert_with(|| PeerTelemetry::new(peer))
+    }
+
+    /// Stamps an outgoing frame: ticks the sender's Lamport clock,
+    /// records a `FrameSent` for span-carrying messages (the record
+    /// itself is the tick, so the stamp equals the event's clock) and
+    /// returns the wire metadata.
+    fn on_send(&mut self, now: f64, from: u32, to: u32, frame: &Frame) -> CausalMeta {
+        let view = wire_view(from, to, frame);
+        let tracer = self.tracer(from);
+        let (lamport, span) = match view {
+            Some((msg, span)) => {
+                tracer.record(now, Event::FrameSent { span, to, msg });
+                (tracer.lamport(), span)
+            }
+            None => (tracer.tick(), 0),
+        };
+        CausalMeta { origin: from, lamport, span }
+    }
+
+    /// Witnesses an incoming frame's clock (so the receive event lands
+    /// strictly after the send), records `FrameReceived` and feeds the
+    /// latency histograms from delivery-time intervals.
+    fn on_delivery(&mut self, d: &Delivery, now: f64) {
+        let (from, to) = (d.from.0, d.to.0);
+        if let Some(meta) = &d.meta {
+            let tracer = self.tracer(to);
+            tracer.witness(meta.lamport);
+            if let Some((msg, _)) = wire_view(from, to, &d.frame) {
+                tracer.record(now, Event::FrameReceived { span: meta.span, from, msg });
+            }
+        }
+        match &d.frame {
+            Frame::PieceData { piece, .. } => {
+                self.data_seen.entry((to, piece.0)).or_insert(now);
+            }
+            Frame::Control(Message::PieceUpload { piece, payee: Some(_), .. }) => {
+                self.upload_seen.insert((from, to, piece.0), now);
+            }
+            Frame::Control(Message::ReceptionReport { requestor, piece }) => {
+                if let Some(t0) = self.upload_seen.remove(&(to, requestor.0, piece.0)) {
+                    self.metric(to).piece_rtt.observe(virt_ms(now - t0));
+                }
+            }
+            Frame::Control(Message::KeyRelease { piece, requestor, .. }) => {
+                let p = piece.0;
+                if let Some(t0) = self.data_seen.remove(&(to, p)) {
+                    self.metric(to).request_key_latency.observe(virt_ms(now - t0));
+                }
+                match requestor.map(|r| r.0) {
+                    // §II-B4 handoff: the payee `to` starts holding the key.
+                    Some(r) if r != to => {
+                        self.escrow_since.insert((to, p), now);
+                    }
+                    // Rule-3 forward: the payee `from` stops holding it.
+                    Some(_) => {
+                        if let Some(t0) = self.escrow_since.remove(&(from, p)) {
+                            self.metric(from).escrow_dwell.observe(virt_ms(now - t0));
+                        }
+                    }
+                    None => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A quarantine imposed by `peer`: histogram the duration and trip
+    /// the flight recorder.
+    fn on_quarantine(&mut self, peer: u32, now: f64, until: f64) {
+        self.metric(peer).quarantine.observe(virt_ms(until - now));
+        self.flight("quarantine", now);
+    }
+
+    /// Captures the merged tail of every peer ring (no-op once the
+    /// per-run capture budget is spent).
+    fn flight(&mut self, reason: &'static str, at: f64) {
+        if self.recorder.full() {
+            return;
+        }
+        let rings: Vec<Vec<TraceRecord>> = self.tracers.values().map(|t| t.records()).collect();
+        self.recorder.capture(reason, at, &rings);
+    }
+
+    /// End-of-run fold: stamps one `MetricSample` event per metric per
+    /// peer into its own ring, folds final counters into the metric
+    /// blocks and builds the swarm aggregate.
+    fn finish(
+        mut self,
+        now: f64,
+        peers: &[(u32, PeerCounters, i64)],
+        chain_lengths: &[u32],
+        terminations: &[(&'static str, u64)],
+    ) -> (SwarmTelemetry, Vec<PeerRing>, Vec<FlightDump>) {
+        for &(id, c, goodwill) in peers {
+            self.metric(id).finish(c, goodwill);
+            let samples = [
+                (MetricName::Uploads, c.uploaded),
+                (MetricName::Downloads, c.decrypted + c.unencrypted),
+                (MetricName::ReportsSent, c.reports_sent),
+                (MetricName::ReportRetries, c.report_retries),
+                (MetricName::KeysSent, c.keys_sent),
+                (MetricName::KeysReceived, c.decrypted),
+                (MetricName::EscrowHeld, c.escrowed),
+                (MetricName::Quarantines, c.quarantines),
+            ];
+            let tracer = self.tracer(id);
+            for (metric, value) in samples {
+                tracer.record(now, Event::MetricSample { peer: id, metric, value });
+            }
+        }
+        let mut swarm = SwarmTelemetry {
+            peers: self.metrics.into_values().collect(),
+            ..SwarmTelemetry::default()
+        };
+        for &len in chain_lengths {
+            swarm.chain_lengths.observe(u64::from(len));
+        }
+        for &(cause, n) in terminations {
+            if n > 0 {
+                swarm.note_termination(cause, n);
+            }
+        }
+        let rings = self.tracers.iter().map(|(&id, t)| (id, t.records())).collect();
+        (swarm, rings, self.recorder.into_dumps())
+    }
 }
 
 /// Maps a transport injection to its obs event kind. `Deliver` is never
@@ -429,6 +626,16 @@ pub struct SwarmReport {
     pub completion_times: Vec<(u32, f64)>,
     /// Per-peer protocol counters, id-ordered.
     pub peer_counters: Vec<(u32, PeerCounters)>,
+    /// Swarm telemetry aggregate — `None` unless
+    /// [`SwarmConfig::telemetry`] was set.
+    pub telemetry: Option<SwarmTelemetry>,
+    /// Per-peer causal trace rings, id-ordered; empty when telemetry is
+    /// off. Each ring merges with the others via
+    /// `tchain_obs::merge_traces` into one causally ordered trace.
+    pub peer_rings: Vec<PeerRing>,
+    /// Flight-recorder captures (violation / quarantine / crash), in
+    /// trigger order; empty when telemetry is off or nothing fired.
+    pub flight_dumps: Vec<FlightDump>,
 }
 
 impl SwarmReport {
@@ -468,6 +675,7 @@ pub struct SwarmHarness<T: Transport> {
     chaos_injects: u64,
     crashes: u64,
     rejoins: u64,
+    telemetry: Option<TelemetryState>,
 }
 
 impl<T: Transport> SwarmHarness<T> {
@@ -506,6 +714,9 @@ impl<T: Transport> SwarmHarness<T> {
         let mut chaos_plan = cfg.chaos.clone();
         chaos_plan.seed ^= 0x0C_1A05_44A4;
         let chaos = ChaosState::new(chaos_plan);
+        let telemetry = cfg.telemetry.then(|| {
+            TelemetryState::new(if cfg.trace_capacity > 0 { cfg.trace_capacity } else { 4096 })
+        });
         Ok(SwarmHarness {
             transport,
             cfg,
@@ -522,6 +733,7 @@ impl<T: Transport> SwarmHarness<T> {
             chaos_injects: 0,
             crashes: 0,
             rejoins: 0,
+            telemetry,
         })
     }
 
@@ -549,7 +761,14 @@ impl<T: Transport> SwarmHarness<T> {
             let now = self.transport.now();
             let mut staged: Vec<(NodeId, NodeId, Frame)> = Vec::new();
             for d in deliveries {
+                let violations_before = self.observer.violations.len();
                 self.observer.observe(&d, &mut self.tracer, now);
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.on_delivery(&d, now);
+                    if self.observer.violations.len() > violations_before {
+                        tel.flight("violation", now);
+                    }
+                }
                 self.fold(&d);
                 if let Some(peer) = self.peers.get_mut(&d.to.0) {
                     let mut out: Outbox = Vec::new();
@@ -604,6 +823,26 @@ impl<T: Transport> SwarmHarness<T> {
                 PeerRole::Seeder => {}
             }
         }
+        let (telemetry, peer_rings, flight_dumps) = match self.telemetry.take() {
+            Some(tel) => {
+                let now = self.transport.now();
+                let tel_peers: Vec<(u32, PeerCounters, i64)> = self
+                    .peers
+                    .iter()
+                    .map(|(&id, p)| (id, p.counters(), p.goodwill_balance()))
+                    .collect();
+                let terminations = [
+                    ("gift", self.observer.chains_terminated() as u64),
+                    ("departure", self.departed_handled.len() as u64),
+                    ("crash", self.crashes),
+                    ("quarantine", peer_counters.iter().map(|(_, c)| c.quarantines).sum()),
+                ];
+                let (swarm, rings, dumps) =
+                    tel.finish(now, &tel_peers, &self.observer.chain_lengths(), &terminations);
+                (Some(swarm), rings, dumps)
+            }
+            None => (None, Vec::new(), Vec::new()),
+        };
         Ok(SwarmReport {
             backend: self.transport.backend(),
             peers: self.cfg.peers,
@@ -635,12 +874,17 @@ impl<T: Transport> SwarmHarness<T> {
             events_recorded: self.tracer.emitted(),
             completion_times,
             peer_counters,
+            telemetry,
+            peer_rings,
+            flight_dumps,
         })
     }
 
     fn flush(&mut self, staged: Vec<(NodeId, NodeId, Frame)>) -> Result<(), NetError> {
+        let now = self.transport.now();
         for (from, to, frame) in staged {
-            match self.transport.send(from, to, frame) {
+            let meta = self.telemetry.as_mut().map(|tel| tel.on_send(now, from.0, to.0, &frame));
+            match self.transport.send_meta(from, to, frame, meta) {
                 // A peer may address someone who already left the
                 // transport's view; that is a drop, not a failure.
                 Err(NetError::UnknownPeer(_)) => {}
@@ -662,9 +906,7 @@ impl<T: Transport> SwarmHarness<T> {
             self.tracker.unregister(NodeId(id));
             self.departed_handled.insert(id, ());
             self.observer.note_departed(id);
-            if self.tracer.is_enabled() {
-                self.tracer.record(now, Event::PeerDepart { peer: id });
-            }
+            trace_event!(self.tracer, now, Event::PeerDepart { peer: id });
             // The connection-reset every remaining peer would see: stop
             // serving the departed peer and abandon transactions toward
             // it (otherwise a donor keeps donating to a ghost and later
@@ -685,32 +927,29 @@ impl<T: Transport> SwarmHarness<T> {
             match rec {
                 ChaosRecord::Inject { from, to, action } => {
                     self.chaos_injects += 1;
-                    if self.tracer.is_enabled() {
-                        if let Some(kind) = chaos_kind(action) {
-                            self.tracer.record(now, Event::ChaosInject {
-                                from: from.0,
-                                to: to.0,
-                                kind,
-                            });
-                        }
+                    if let Some(kind) = chaos_kind(action) {
+                        trace_event!(self.tracer, now, Event::ChaosInject {
+                            from: from.0,
+                            to: to.0,
+                            kind,
+                        });
                     }
                 }
                 ChaosRecord::Reject(rej) => {
-                    if self.tracer.is_enabled() {
-                        self.tracer.record(now, Event::FrameReject {
-                            peer: rej.to.0,
-                            offender: rej.from.0,
-                            kind: reject_kind(&rej.cause),
-                        });
-                    }
+                    trace_event!(self.tracer, now, Event::FrameReject {
+                        peer: rej.to.0,
+                        offender: rej.from.0,
+                        kind: reject_kind(&rej.cause),
+                    });
                     if let Some(peer) = self.peers.get_mut(&rej.to.0) {
                         if let Some(until) = peer.on_frame_reject(now, rej.from) {
-                            if self.tracer.is_enabled() {
-                                self.tracer.record(now, Event::PeerQuarantine {
-                                    peer: rej.to.0,
-                                    offender: rej.from.0,
-                                    until,
-                                });
+                            trace_event!(self.tracer, now, Event::PeerQuarantine {
+                                peer: rej.to.0,
+                                offender: rej.from.0,
+                                until,
+                            });
+                            if let Some(tel) = self.telemetry.as_mut() {
+                                tel.on_quarantine(rej.to.0, now, until);
                             }
                         }
                     }
@@ -743,8 +982,9 @@ impl<T: Transport> SwarmHarness<T> {
             self.transport.disconnect(victim);
             self.tracker.unregister(victim);
             self.observer.note_departed(victim.0);
-            if self.tracer.is_enabled() {
-                self.tracer.record(now, Event::PeerCrash { peer: victim.0 });
+            trace_event!(self.tracer, now, Event::PeerCrash { peer: victim.0 });
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.flight("crash", now);
             }
             for (&pid, other) in self.peers.iter_mut() {
                 if pid != victim.0 && !other.departed() {
@@ -795,12 +1035,10 @@ impl<T: Transport> SwarmHarness<T> {
             self.tracker.register(id);
             self.observer.note_rejoined(id.0);
             self.rejoins += 1;
-            if self.tracer.is_enabled() {
-                self.tracer.record(now, Event::PeerRejoin {
-                    peer: id.0,
-                    generation: slot.generation,
-                });
-            }
+            trace_event!(self.tracer, now, Event::PeerRejoin {
+                peer: id.0,
+                generation: slot.generation,
+            });
             let members =
                 self.tracker.random_members(id, self.cfg.peers as usize, &mut self.rng);
             let mut out: Outbox = Vec::new();
@@ -953,6 +1191,64 @@ mod tests {
         assert_eq!(a.chaos_injects, b.chaos_injects);
         assert_eq!(a.crashes, b.crashes);
         assert_eq!(a.completion_times, b.completion_times);
+    }
+
+    #[test]
+    fn telemetry_run_merges_causally_and_keeps_the_fingerprint() {
+        let off = run_swarm(SwarmConfig::default()).expect("off");
+        let cfg = SwarmConfig { telemetry: true, ..SwarmConfig::default() };
+        let on = run_swarm(cfg).expect("on");
+        assert!(on.ok(), "violations: {:?}", on.violations);
+        assert_eq!(
+            on.fingerprint, off.fingerprint,
+            "causal stamps must not perturb the delivered-frame stream"
+        );
+        assert_eq!(on.ticks, off.ticks);
+        assert_eq!(on.completion_times, off.completion_times);
+
+        assert_eq!(on.peer_rings.len() as u32, on.peers, "every peer traced");
+        let rings: Vec<Vec<TraceRecord>> =
+            on.peer_rings.iter().map(|(_, r)| r.clone()).collect();
+        let merged = tchain_obs::merge_traces(&rings).expect("rings merge");
+        let arrows = tchain_obs::validate_causal(&merged).expect("causally consistent");
+        assert!(arrows > 0, "flow arrows must connect sends to receives");
+
+        let tel = on.telemetry.expect("aggregate present");
+        assert!(tel.peers.iter().any(|p| p.request_key_latency.count() > 0));
+        assert!(tel.peers.iter().any(|p| p.piece_rtt.count() > 0));
+        assert!(tel.chain_lengths.count() > 0);
+        let j = tel.fairness_index();
+        assert!(j > 0.0 && j <= 1.0 + 1e-12, "Jain index in range, got {j}");
+        let prom = tel.to_prometheus();
+        assert!(prom.contains("tchain_fairness_index"));
+        assert!(prom.contains("tchain_chain_length_bucket"));
+    }
+
+    #[test]
+    fn telemetry_off_reports_nothing_extra() {
+        let report = run_swarm(SwarmConfig::default()).expect("run");
+        assert!(report.telemetry.is_none());
+        assert!(report.peer_rings.is_empty());
+        assert!(report.flight_dumps.is_empty());
+    }
+
+    #[test]
+    fn quarantine_under_chaos_trips_the_flight_recorder() {
+        let cfg = SwarmConfig {
+            telemetry: true,
+            chaos: ChaosPlan::corrupting(77, 0.05),
+            max_ticks: 8000,
+            ..SwarmConfig::default()
+        };
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        if report.quarantines > 0 {
+            assert!(!report.flight_dumps.is_empty(), "quarantine must capture a dump");
+            let dump = &report.flight_dumps[0];
+            assert_eq!(dump.reason, "quarantine");
+            assert!(!dump.records.is_empty());
+            assert!(!dump.to_jsonl().is_empty());
+        }
     }
 
     #[test]

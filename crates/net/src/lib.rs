@@ -35,13 +35,16 @@ mod frame;
 mod harness;
 mod runtime;
 mod tcp;
+pub mod telemetry;
 mod transport;
 
 pub use content::{fingerprint, Content};
 pub use frame::{
-    frame_checksum, Frame, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_BODY,
+    frame_checksum, CausalMeta, Frame, FrameDecoder, FrameError, CAUSAL_META_LEN,
+    FRAME_HEADER_LEN, MAX_FRAME_BODY,
 };
 pub use harness::{run_swarm, Observer, SwarmConfig, SwarmHarness, SwarmReport};
+pub use telemetry::{FlightDump, FlightRecorder, PeerTelemetry, SwarmTelemetry};
 pub use runtime::{
     Checkpoint, CheckpointError, NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime,
 };

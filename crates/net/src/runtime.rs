@@ -196,6 +196,8 @@ pub struct PeerCounters {
     pub frame_rejects: u64,
     /// Neighbors quarantined after crossing the strike limit.
     pub quarantines: u64,
+    /// Piece bodies pushed onto the wire (donations, gifts, re-uploads).
+    pub uploaded: u64,
 }
 
 /// The executable peer.
@@ -336,6 +338,15 @@ impl PeerRuntime {
     /// Per-peer protocol counters.
     pub fn counters(&self) -> PeerCounters {
         self.counters
+    }
+
+    /// Goodwill balance: pieces served to the swarm minus pieces obtained
+    /// from it. Positive for net contributors, negative for net consumers.
+    /// T-Chain's invariant is that this cannot drift far negative for a
+    /// compliant peer — free-riders stall instead of draining donors.
+    pub fn goodwill_balance(&self) -> i64 {
+        let got = self.counters.decrypted + self.counters.unencrypted;
+        self.counters.uploaded as i64 - got as i64
     }
 
     /// Restart incarnation (0 = original, bumped per crash-restart).
@@ -1020,6 +1031,7 @@ impl PeerRuntime {
         };
         out.push((NodeId(to), Frame::Control(header)));
         out.push((NodeId(to), Frame::PieceData { piece: PieceId(piece), payload }));
+        self.counters.uploaded += 1;
         match payee {
             Some(_) => {
                 self.donor_txns.insert(
@@ -1327,7 +1339,7 @@ impl std::fmt::Display for CheckpointError {
 impl std::error::Error for CheckpointError {}
 
 const CHECKPOINT_MAGIC: [u8; 4] = *b"TCKP";
-const CHECKPOINT_VERSION: u16 = 1;
+const CHECKPOINT_VERSION: u16 = 2;
 
 struct CpReader<'a> {
     buf: &'a [u8],
@@ -1433,6 +1445,7 @@ impl Checkpoint {
             c.escrowed,
             c.frame_rejects,
             c.quarantines,
+            c.uploaded,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -1503,6 +1516,7 @@ impl Checkpoint {
             escrowed: r.u64()?,
             frame_rejects: r.u64()?,
             quarantines: r.u64()?,
+            uploaded: r.u64()?,
         };
         let mut held = Vec::with_capacity(r.count()?);
         for _ in 0..held.capacity() {

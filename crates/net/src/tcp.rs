@@ -21,7 +21,7 @@
 //! action TCP cannot express (a stream cannot overtake itself) and
 //! delivers normally.
 
-use crate::frame::{Frame, FrameDecoder};
+use crate::frame::{CausalMeta, Frame, FrameDecoder};
 use crate::transport::{
     apply_mutation, ChaosRecord, Delivery, FrameReject, NetError, RejectCause, Transport,
     TransportStats,
@@ -239,6 +239,16 @@ impl Transport for TcpLoopback {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, frame: Frame) -> Result<(), NetError> {
+        self.send_meta(from, to, frame, None)
+    }
+
+    fn send_meta(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        frame: Frame,
+        meta: Option<CausalMeta>,
+    ) -> Result<(), NetError> {
         if !self.listeners.contains_key(&to.0) {
             return Err(NetError::UnknownPeer(to));
         }
@@ -247,6 +257,8 @@ impl Transport for TcpLoopback {
             self.stats.dropped += 1;
             return Ok(());
         }
+        // The chaos draw keys on the bare frame length so telemetry
+        // stamps cannot change which frames get hit.
         let action = self.chaos.action(frame.encoded_len());
         if action != ChaosAction::Deliver {
             self.records.push(ChaosRecord::Inject { from, to, action });
@@ -255,22 +267,25 @@ impl Transport for TcpLoopback {
             // A TCP stream cannot overtake itself: Reorder is a no-op
             // here and the frame rides the stream in order.
             ChaosAction::Deliver | ChaosAction::Reorder => {
-                self.write_bytes(from, to, &frame.encode())
+                self.write_bytes(from, to, &frame.encode_with_meta(meta.as_ref()))
             }
             ChaosAction::Corrupt(m) => {
-                let mut bytes = frame.encode();
+                // The mutation mangles the real wire image — meta block
+                // included when one is attached — so the checksum path
+                // under test is exactly what a receiver would run.
+                let mut bytes = frame.encode_with_meta(meta.as_ref());
                 apply_mutation(&mut bytes, m);
                 self.write_bytes(from, to, &bytes)
             }
             ChaosAction::Duplicate => {
-                let bytes = frame.encode();
+                let bytes = frame.encode_with_meta(meta.as_ref());
                 self.write_bytes(from, to, &bytes)?;
                 self.write_bytes(from, to, &bytes)
             }
             ChaosAction::Reset => {
                 // Push half the frame onto the wire, then kill the socket:
                 // the receiver sees a stream that dies mid-frame.
-                let bytes = frame.encode();
+                let bytes = frame.encode_with_meta(meta.as_ref());
                 self.write_bytes(from, to, &bytes[..bytes.len() / 2])?;
                 if let Some(mut conn) = self.outbound.remove(&(from.0, to.0)) {
                     let _ = conn.flush();
@@ -304,15 +319,15 @@ impl Transport for TcpLoopback {
         for (&(owner, from), conn) in self.inbound.iter_mut() {
             let closed = conn.drain_read()?;
             let link_dead = loop {
-                match conn.decoder.next_frame() {
-                    Ok(Some(frame)) => {
+                match conn.decoder.next_frame_meta() {
+                    Ok(Some((frame, meta))) => {
                         if self.gone.contains(&owner) {
                             self.stats.dropped += 1;
                             continue;
                         }
                         self.stats.delivered += 1;
                         self.stats.bytes_delivered += frame.encoded_len() as u64;
-                        out.push(Delivery { from: NodeId(from), to: NodeId(owner), frame });
+                        out.push(Delivery { from: NodeId(from), to: NodeId(owner), frame, meta });
                     }
                     Ok(None) => break false,
                     Err(e) => {
@@ -507,6 +522,28 @@ mod tests {
             "receiver must observe the mid-frame cut: {records:?}"
         );
         assert_eq!(t.stats().delivered, 0);
+    }
+
+    #[test]
+    fn meta_stamps_cross_real_sockets() {
+        let Some(mut t) = try_pair() else {
+            eprintln!("skipping: loopback TCP unavailable");
+            return;
+        };
+        let meta = CausalMeta { origin: 1, lamport: 11, span: 900 };
+        t.send_meta(
+            NodeId(1),
+            NodeId(2),
+            Frame::Control(Message::Have { piece: PieceId(8) }),
+            Some(meta),
+        )
+        .expect("send");
+        t.send(NodeId(1), NodeId(2), Frame::Control(Message::Have { piece: PieceId(9) }))
+            .expect("send");
+        let got = pump(&mut t, 2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].meta, Some(meta), "stamp survives the wire");
+        assert_eq!(got[1].meta, None, "unstamped frame stays unstamped");
     }
 
     #[test]

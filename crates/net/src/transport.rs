@@ -19,7 +19,7 @@
 //! frame (the mutation was survivable) or a typed [`FrameError`] surfaced
 //! as a [`FrameReject`] through [`Transport::take_chaos`].
 
-use crate::frame::{Frame, FrameDecoder, FrameError, MAX_FRAME_BODY};
+use crate::frame::{CausalMeta, Frame, FrameDecoder, FrameError, MAX_FRAME_BODY};
 use std::collections::{BTreeMap, BTreeSet};
 use tchain_sim::{
     ChaosAction, ChaosPlan, ChaosState, ChaosStats, DelayQueue, FaultPlan, FaultState,
@@ -35,6 +35,10 @@ pub struct Delivery {
     pub to: NodeId,
     /// The frame.
     pub frame: Frame,
+    /// Causal telemetry stamp the sender attached, if any. Never part of
+    /// the harness fingerprint — folding uses the bare frame encoding —
+    /// so enabling telemetry cannot change a run's identity.
+    pub meta: Option<CausalMeta>,
 }
 
 /// Errors surfaced by a transport backend.
@@ -142,6 +146,28 @@ pub trait Transport {
     ///
     /// Returns [`NetError`] when the backend cannot accept the frame.
     fn send(&mut self, from: NodeId, to: NodeId, frame: Frame) -> Result<(), NetError>;
+
+    /// Queues one frame with an optional [`CausalMeta`] telemetry stamp.
+    ///
+    /// The default discards the stamp and forwards to [`Transport::send`]
+    /// — a meta-unaware backend stays correct, it just yields deliveries
+    /// with `meta: None`. Backends that carry the stamp must not let it
+    /// perturb the delivery schedule (chaos/fault draws key on the bare
+    /// frame length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] when the backend cannot accept the frame.
+    fn send_meta(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        frame: Frame,
+        meta: Option<CausalMeta>,
+    ) -> Result<(), NetError> {
+        let _ = meta;
+        self.send(from, to, frame)
+    }
 
     /// Advances one step and returns the frames delivered during it, in
     /// the backend's delivery order.
@@ -295,9 +321,13 @@ impl ChannelMesh {
     }
 
     /// Runs one frame through the chaos layer and schedules the outcome.
-    fn dispatch(&mut self, at: f64, from: NodeId, to: NodeId, frame: Frame) {
+    ///
+    /// The chaos draw keys on the *bare* frame length (meta excluded), so
+    /// attaching telemetry stamps cannot change which frames get hit —
+    /// same-seed schedules match with telemetry on or off.
+    fn dispatch(&mut self, at: f64, from: NodeId, to: NodeId, frame: Frame, meta: Option<CausalMeta>) {
         if !self.chaos.active() {
-            self.enqueue(at, Queued::Deliver(Delivery { from, to, frame }));
+            self.enqueue(at, Queued::Deliver(Delivery { from, to, frame, meta }));
             return;
         }
         let action = self.chaos.action(frame.encoded_len());
@@ -306,9 +336,11 @@ impl ChannelMesh {
         }
         match action {
             ChaosAction::Deliver => {
-                self.enqueue(at, Queued::Deliver(Delivery { from, to, frame }));
+                self.enqueue(at, Queued::Deliver(Delivery { from, to, frame, meta }));
             }
             ChaosAction::Corrupt(mutation) => {
+                // Mutation targets the bare wire image; any meta stamp is
+                // considered destroyed with the frame.
                 let mut bytes = frame.encode();
                 apply_mutation(&mut bytes, mutation);
                 match redecode(&bytes) {
@@ -317,7 +349,10 @@ impl ChannelMesh {
                         // truncate that landed exactly on a frame
                         // boundary is impossible, but a checksum
                         // collision is theoretically survivable).
-                        self.enqueue(at, Queued::Deliver(Delivery { from, to, frame: f }));
+                        self.enqueue(
+                            at,
+                            Queued::Deliver(Delivery { from, to, frame: f, meta: None }),
+                        );
                     }
                     Redecode::Nothing => {
                         // Truncated to nothing: the frame silently
@@ -331,12 +366,15 @@ impl ChannelMesh {
                 }
             }
             ChaosAction::Duplicate => {
-                self.enqueue(at, Queued::Deliver(Delivery { from, to, frame: frame.clone() }));
-                self.enqueue(at, Queued::Deliver(Delivery { from, to, frame }));
+                self.enqueue(
+                    at,
+                    Queued::Deliver(Delivery { from, to, frame: frame.clone(), meta }),
+                );
+                self.enqueue(at, Queued::Deliver(Delivery { from, to, frame, meta }));
             }
             ChaosAction::Reorder => {
                 let held = at + self.chaos.reorder_delay();
-                self.enqueue_reordered(held, Queued::Deliver(Delivery { from, to, frame }));
+                self.enqueue_reordered(held, Queued::Deliver(Delivery { from, to, frame, meta }));
             }
             ChaosAction::Reset => {
                 // The stream dies mid-frame: the bytes never arrive, the
@@ -394,6 +432,16 @@ impl Transport for ChannelMesh {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, frame: Frame) -> Result<(), NetError> {
+        self.send_meta(from, to, frame, None)
+    }
+
+    fn send_meta(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        frame: Frame,
+        meta: Option<CausalMeta>,
+    ) -> Result<(), NetError> {
         if !self.peers.contains(&to.0) {
             return Err(NetError::UnknownPeer(to));
         }
@@ -420,8 +468,8 @@ impl Transport for ChannelMesh {
             Route::Dropped => {
                 self.stats.dropped += 1;
             }
-            Route::Now => self.dispatch(self.now + self.tick_dt, from, to, frame),
-            Route::At(t) => self.dispatch(t, from, to, frame),
+            Route::Now => self.dispatch(self.now + self.tick_dt, from, to, frame, meta),
+            Route::At(t) => self.dispatch(t, from, to, frame, meta),
         }
         Ok(())
     }
@@ -687,6 +735,42 @@ mod tests {
         assert!(records
             .iter()
             .any(|r| matches!(r, ChaosRecord::Inject { action: ChaosAction::Reorder, .. })));
+    }
+
+    #[test]
+    fn meta_rides_the_mesh_without_perturbing_schedule() {
+        let meta = CausalMeta { origin: 1, lamport: 5, span: 77 };
+        let mut m = ChannelMesh::new(FaultPlan::none(), 0.1);
+        m.register(NodeId(1)).unwrap();
+        m.register(NodeId(2)).unwrap();
+        m.send_meta(NodeId(1), NodeId(2), ctrl(0), Some(meta)).unwrap();
+        m.send(NodeId(1), NodeId(2), ctrl(1)).unwrap();
+        let got = m.advance().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].meta, Some(meta));
+        assert_eq!(got[1].meta, None);
+
+        // Same chaos seed, with and without stamps: identical frame
+        // schedule and chaos decisions.
+        let chaos = ChaosPlan::byzantine(21, 0.5);
+        let run = |stamp: bool| {
+            let mut m = ChannelMesh::with_chaos(FaultPlan::none(), chaos.clone(), 0.1);
+            m.register(NodeId(1)).unwrap();
+            m.register(NodeId(2)).unwrap();
+            let mut log = Vec::new();
+            for i in 0..60 {
+                let meta = stamp.then_some(CausalMeta { origin: 1, lamport: i as u64 + 1, span: 0 });
+                m.send_meta(NodeId(1), NodeId(2), ctrl(i), meta).unwrap();
+                for d in m.advance().unwrap() {
+                    log.push(format!("{:?}", d.frame));
+                }
+                for r in m.take_chaos() {
+                    log.push(format!("{r:?}"));
+                }
+            }
+            log
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

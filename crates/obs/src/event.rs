@@ -53,6 +53,63 @@ pub enum ChaosKind {
     Reset,
 }
 
+/// Which protocol frame a causal send/receive telemetry event tagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WireMsg {
+    /// The §II-B2 step-1 upload header (`PieceUpload`).
+    Upload,
+    /// The encrypted bulk piece bytes (`PieceData`).
+    PieceData,
+    /// The §II-B2 step-3 reception report.
+    Report,
+    /// The §II-B2 step-4 key release (incl. §II-B4 escrow hops).
+    Key,
+}
+
+/// The closed set of per-peer telemetry metric names.
+///
+/// Telemetry samples serialize the metric as this enum, so
+/// [`crate::validate_jsonl`] rejects a line carrying a name outside the
+/// schema — the same typed-schema guarantee the event taxonomy gives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum MetricName {
+    /// Encrypted piece bodies this peer pushed onto the wire.
+    Uploads,
+    /// Piece bodies delivered to this peer.
+    Downloads,
+    /// Reception reports this peer sent.
+    ReportsSent,
+    /// Report retransmissions this peer sent.
+    ReportRetries,
+    /// Key releases this peer sent.
+    KeysSent,
+    /// Keys delivered to this peer (decryptions unlocked).
+    KeysReceived,
+    /// §II-B4 escrow handoffs this peer received as payee.
+    EscrowHeld,
+    /// Quarantines this peer imposed on offenders.
+    Quarantines,
+}
+
+impl MetricName {
+    /// Stable snake_case name (the serialized form, also the Prometheus
+    /// family suffix).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricName::Uploads => "uploads",
+            MetricName::Downloads => "downloads",
+            MetricName::ReportsSent => "reports_sent",
+            MetricName::ReportRetries => "report_retries",
+            MetricName::KeysSent => "keys_sent",
+            MetricName::KeysReceived => "keys_received",
+            MetricName::EscrowHeld => "escrow_held",
+            MetricName::Quarantines => "quarantines",
+        }
+    }
+}
+
 /// Why a receiver rejected a frame or stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
@@ -269,6 +326,33 @@ pub enum Event {
         /// Restart generation (0 = original incarnation).
         generation: u32,
     },
+    /// A causally tagged frame left this peer (telemetry layer).
+    FrameSent {
+        /// Transaction span the frame belongs to.
+        span: u64,
+        /// Intended recipient.
+        to: u32,
+        /// Which protocol frame it carried.
+        msg: WireMsg,
+    },
+    /// A causally tagged frame was delivered to this peer.
+    FrameReceived {
+        /// Transaction span the frame belongs to.
+        span: u64,
+        /// The sending origin peer.
+        from: u32,
+        /// Which protocol frame it carried.
+        msg: WireMsg,
+    },
+    /// A per-peer telemetry counter sample (emitted at snapshot time).
+    MetricSample {
+        /// The sampled peer.
+        peer: u32,
+        /// Which metric (closed schema — unknown names fail validation).
+        metric: MetricName,
+        /// The counter value.
+        value: u64,
+    },
 }
 
 impl Event {
@@ -298,6 +382,9 @@ impl Event {
             Event::FrameReject { .. } => "frame_reject",
             Event::PeerQuarantine { .. } => "peer_quarantine",
             Event::PeerRejoin { .. } => "peer_rejoin",
+            Event::FrameSent { .. } => "frame_sent",
+            Event::FrameReceived { .. } => "frame_received",
+            Event::MetricSample { .. } => "metric_sample",
         }
     }
 }
@@ -314,9 +401,25 @@ pub struct TraceRecord {
     pub t: f64,
     /// Monotone sequence number (gaps mean the ring overwrote records).
     pub seq: u64,
+    /// Peer whose ring recorded this event, when the tracer has a
+    /// per-peer identity (causal swarm tracing). `None` for the classic
+    /// single-run tracers.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub origin: Option<u32>,
+    /// Lamport clock stamped at record time. Present exactly when
+    /// `origin` is; strictly increases within one peer's ring.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub lamport: Option<u64>,
     /// The event itself (flattened into the record's JSON object).
     #[serde(flatten)]
     pub event: Event,
+}
+
+impl TraceRecord {
+    /// A record with no causal identity (classic single-run tracing).
+    pub fn plain(t: f64, seq: u64, event: Event) -> Self {
+        TraceRecord { t, seq, origin: None, lamport: None, event }
+    }
 }
 
 #[cfg(test)]
@@ -325,10 +428,10 @@ mod tests {
 
     #[test]
     fn roundtrips_through_json() {
-        let r = TraceRecord {
-            t: 12.5,
-            seq: 7,
-            event: Event::TxnStart {
+        let r = TraceRecord::plain(
+            12.5,
+            7,
+            Event::TxnStart {
                 txn: 1,
                 chain: 2,
                 donor: 3,
@@ -336,7 +439,7 @@ mod tests {
                 payee: Some(5),
                 piece: 6,
             },
-        };
+        );
         let s = serde_json::to_string(&r).unwrap();
         if !crate::serde_backend_is_real() {
             return; // stub serde has no tagged-enum support
@@ -360,5 +463,42 @@ mod tests {
     fn unknown_fields_are_rejected() {
         let bogus = r#"{"t":0.0,"seq":0,"type":"peer_join","peer":1,"compliant":true,"x":1}"#;
         assert!(serde_json::from_str::<TraceRecord>(bogus).is_err());
+    }
+
+    #[test]
+    fn causal_fields_roundtrip_and_stay_optional() {
+        if !crate::serde_backend_is_real() {
+            return;
+        }
+        let plain = TraceRecord::plain(1.0, 0, Event::PeerJoin { peer: 1, compliant: true });
+        let s = serde_json::to_string(&plain).unwrap();
+        assert!(!s.contains("origin"), "plain records omit causal fields: {s}");
+        let causal = TraceRecord {
+            origin: Some(3),
+            lamport: Some(17),
+            ..plain
+        };
+        let s = serde_json::to_string(&causal).unwrap();
+        assert!(s.contains("\"origin\":3") && s.contains("\"lamport\":17"), "{s}");
+        let back: TraceRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, causal);
+        // Legacy lines without the causal fields still deserialize.
+        let back: TraceRecord = serde_json::from_str(
+            r#"{"t":1.0,"seq":0,"type":"peer_join","peer":1,"compliant":true}"#,
+        )
+        .unwrap();
+        assert_eq!(back, plain);
+    }
+
+    #[test]
+    fn metric_sample_rejects_unknown_metric_name() {
+        if !crate::serde_backend_is_real() {
+            return;
+        }
+        let ok = r#"{"t":0.0,"seq":0,"type":"metric_sample","peer":1,"metric":"uploads","value":3}"#;
+        assert!(serde_json::from_str::<TraceRecord>(ok).is_ok());
+        let bad =
+            r#"{"t":0.0,"seq":0,"type":"metric_sample","peer":1,"metric":"bogus","value":3}"#;
+        assert!(serde_json::from_str::<TraceRecord>(bad).is_err());
     }
 }

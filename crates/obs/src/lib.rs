@@ -34,10 +34,18 @@ mod registry;
 mod ring;
 mod tracer;
 
-pub use event::{ChaosKind, EndCause, Event, RejectKind, RetryMsg, TraceRecord};
-pub use export::{to_chrome_trace, to_jsonl, validate_jsonl};
+pub use event::{
+    ChaosKind, EndCause, Event, MetricName, RejectKind, RetryMsg, TraceRecord, WireMsg,
+};
+pub use export::{
+    merge_traces, to_causal_chrome_trace, to_chrome_trace, to_jsonl, validate_causal,
+    validate_jsonl,
+};
 pub use profile::{Phase, PhaseProfile, PhaseProfiler, PhaseSummary, HIST_BUCKETS};
-pub use registry::{ExportStats, MetricMap, StatsRegistry};
+pub use registry::{
+    ExportStats, Log2Histogram, MetricMap, PrometheusWriter, StatsRegistry, TelemetrySnapshot,
+    LOG2_BUCKETS,
+};
 pub use ring::EventRing;
 pub use tracer::Tracer;
 

@@ -84,11 +84,7 @@ mod tests {
     use crate::event::Event;
 
     fn rec(seq: u64) -> TraceRecord {
-        TraceRecord {
-            t: seq as f64,
-            seq,
-            event: Event::PeerCrash { peer: seq as u32 },
-        }
+        TraceRecord::plain(seq as f64, seq, Event::PeerCrash { peer: seq as u32 })
     }
 
     #[test]

@@ -13,6 +13,8 @@ use crate::ring::EventRing;
 pub struct Tracer {
     ring: Option<EventRing>,
     next_seq: u64,
+    origin: Option<u32>,
+    lamport: u64,
 }
 
 impl Tracer {
@@ -26,7 +28,43 @@ impl Tracer {
         Self {
             ring: Some(EventRing::new(capacity)),
             next_seq: 0,
+            origin: None,
+            lamport: 0,
         }
+    }
+
+    /// A tracer with a per-peer causal identity: every record is stamped
+    /// with `origin = peer` and a fresh Lamport tick, so rings from
+    /// different peers can be merged into one causally ordered trace.
+    pub fn for_peer(peer: u32, capacity: usize) -> Self {
+        Self {
+            ring: Some(EventRing::new(capacity)),
+            next_seq: 0,
+            origin: Some(peer),
+            lamport: 0,
+        }
+    }
+
+    /// Advance the Lamport clock for a local or send event and return
+    /// the new value (to stamp onto an outgoing frame).
+    #[inline]
+    pub fn tick(&mut self) -> u64 {
+        self.lamport += 1;
+        self.lamport
+    }
+
+    /// Merge a remote clock witnessed on a received frame:
+    /// `clock = max(clock, remote)`, so the subsequent receive-event
+    /// tick lands strictly after the sender's send event.
+    #[inline]
+    pub fn witness(&mut self, remote: u64) {
+        self.lamport = self.lamport.max(remote);
+    }
+
+    /// Current Lamport clock value.
+    #[inline]
+    pub fn lamport(&self) -> u64 {
+        self.lamport
     }
 
     /// `true` when events are being recorded. Instrumentation sites must
@@ -36,13 +74,24 @@ impl Tracer {
         self.ring.is_some()
     }
 
-    /// Record one event at simulated time `t`.
+    /// Record one event at simulated time `t`. Tracers with a per-peer
+    /// identity ([`Tracer::for_peer`]) tick the Lamport clock and stamp
+    /// `origin`/`lamport` onto the record.
     #[inline]
     pub fn record(&mut self, t: f64, event: Event) {
-        if let Some(ring) = self.ring.as_mut() {
+        if self.ring.is_some() {
+            let lamport = if self.origin.is_some() {
+                self.lamport += 1;
+                Some(self.lamport)
+            } else {
+                None
+            };
             let seq = self.next_seq;
             self.next_seq += 1;
-            ring.push(TraceRecord { t, seq, event });
+            let origin = self.origin;
+            if let Some(ring) = self.ring.as_mut() {
+                ring.push(TraceRecord { t, seq, origin, lamport, event });
+            }
         }
     }
 
@@ -136,6 +185,31 @@ mod tests {
         };
         trace_event!(tr, 0.0, Event::PeerDepart { peer: peer() });
         assert!(!evaluated);
+    }
+
+    #[test]
+    fn peer_tracer_stamps_strictly_increasing_lamport() {
+        let mut tr = Tracer::for_peer(5, 8);
+        tr.record(0.0, Event::PeerJoin { peer: 5, compliant: true });
+        let sent = tr.tick(); // clock value carried on an outgoing frame
+        tr.record(0.5, Event::PeerDepart { peer: 5 });
+        tr.witness(100); // remote frame carried a much larger clock
+        tr.record(1.0, Event::PeerRejoin { peer: 5, generation: 1 });
+        let recs = tr.records();
+        assert_eq!(recs.iter().map(|r| r.origin).collect::<Vec<_>>(), vec![Some(5); 3]);
+        let clocks: Vec<u64> = recs.iter().map(|r| r.lamport.unwrap()).collect();
+        assert_eq!(clocks, vec![1, 3, 101]);
+        assert_eq!(sent, 2);
+        assert!(clocks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn plain_tracer_stamps_no_causal_fields() {
+        let mut tr = Tracer::with_capacity(4);
+        tr.record(0.0, Event::PeerDepart { peer: 1 });
+        let rec = tr.records()[0];
+        assert_eq!(rec.origin, None);
+        assert_eq!(rec.lamport, None);
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn run_once(traced: bool, faults: FaultPlan) -> tchain_experiments::RunOutcome {
 /// `true` when the linked serde_json can parse (the offline stub harness
 /// serializes but never deserializes; validation tests skip there).
 fn serde_backend_is_real() -> bool {
-    let probe = to_jsonl(&[TraceRecord { t: 0.0, seq: 0, event: Event::PeerDepart { peer: 1 } }]);
+    let probe = to_jsonl(&[TraceRecord::plain(0.0, 0, Event::PeerDepart { peer: 1 })]);
     validate_jsonl(&probe).is_ok()
 }
 
