@@ -219,6 +219,53 @@ fn net_backend_json<T: tchain_net::Transport>(
     ))
 }
 
+/// Times one 256-peer swarm with a long idle tail (tiny file, one churn
+/// arrival late in the run) under the given scheduler and returns
+/// `(wall_clock_s, report)`. The idle tail is the scale stressor: the
+/// legacy scheduler linear-scans all 256 peers every tick of it, the
+/// indexed timer wheel sleeps them.
+fn timed_scale_swarm(sched: tchain_net::SchedMode) -> (f64, tchain_net::SwarmReport) {
+    let cfg = tchain_net::SwarmConfig {
+        peers: 256,
+        pieces: 4,
+        piece_len: 64,
+        seed: 0x5CA1E,
+        sched,
+        churn: tchain_sim::ChurnPlan::none().with_joins(2000.0, 1, 1.0),
+        max_ticks: 30_000,
+        trace_capacity: 0,
+        ..tchain_net::SwarmConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let report = tchain_net::run_swarm(cfg).expect("channel mesh cannot fail");
+    (start.elapsed().as_secs_f64(), report)
+}
+
+/// Measures harness scheduling throughput at N = 256: the same churning
+/// swarm under the indexed timer wheel and the legacy linear scan. The
+/// two runs must agree bit-for-bit on the frame stream (the parity
+/// claim), and the indexed path must clear 4× the legacy ticks/s (the
+/// PR 8 scale claim). Returns the JSON fragment folded into
+/// `BENCH_net.json`.
+fn scale_summary_json() -> String {
+    use tchain_net::SchedMode;
+    let (idx_s, idx) = timed_scale_swarm(SchedMode::Indexed);
+    let (lin_s, lin) = timed_scale_swarm(SchedMode::LegacyLinear);
+    let idx_tps = idx.ticks as f64 / idx_s.max(1e-9);
+    let lin_tps = lin.ticks as f64 / lin_s.max(1e-9);
+    format!(
+        "{{\"peers\":256,\"ticks\":{},\"indexed_s\":{:.6},\"legacy_s\":{:.6},\"indexed_ticks_per_s\":{:.1},\"legacy_ticks_per_s\":{:.1},\"speedup\":{:.2},\"fingerprint_match\":{},\"safe\":{}}}",
+        idx.ticks,
+        idx_s,
+        lin_s,
+        idx_tps,
+        lin_tps,
+        idx_tps / lin_tps.max(1e-9),
+        idx.fingerprint == lin.fingerprint && idx.ticks == lin.ticks,
+        idx.violations.is_empty() && idx.plaintext_ok && idx.ledger_ok,
+    )
+}
+
 /// Measures raw `tchain-net` transport throughput — one sender pushing a
 /// fixed batch of bulk piece frames to one receiver — through both
 /// backends: the deterministic [`tchain_net::ChannelMesh`] and the real
@@ -243,7 +290,8 @@ pub fn net_summary_json() -> String {
         .and_then(|mut t| net_backend_json(&mut t, FRAMES, PAYLOAD))
         .unwrap_or_else(|| "{\"backend\":\"tcp_loopback\",\"available\":false}".into());
     format!(
-        "{{\"frames\":{FRAMES},\"payload_bytes\":{PAYLOAD},\"backends\":[{mesh},{tcp}]}}\n"
+        "{{\"frames\":{FRAMES},\"payload_bytes\":{PAYLOAD},\"backends\":[{mesh},{tcp}],\"scale\":{}}}\n",
+        scale_summary_json()
     )
 }
 
@@ -351,6 +399,19 @@ mod tests {
         // The in-process mesh has no sockets to fail: it must always
         // produce a throughput number.
         assert!(json.contains("\"frames_per_s\""), "mesh leg ran: {json}");
+        // The 256-peer scale leg: the indexed scheduler must reproduce
+        // the legacy frame stream exactly and beat it on wall clock.
+        // (The committed trajectory pins the ≥4× headline; the test
+        // bound is looser so a loaded CI box cannot flake it.)
+        assert!(json.contains("\"fingerprint_match\":true"), "schedulers diverged: {json}");
+        assert!(json.contains("\"safe\":true"), "scale leg unsafe: {json}");
+        let speedup: f64 = json
+            .split("\"speedup\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .expect("speedup field");
+        assert!(speedup >= 2.0, "indexed scheduler speedup collapsed: {speedup:.2}x");
         // Refresh the committed trajectory whenever the suite runs.
         let path = write_net_summary().expect("write BENCH_net.json");
         assert!(path.ends_with("BENCH_net.json"));

@@ -1,0 +1,48 @@
+//! Scale sweep over the executable peer runtime (`tchain-net`):
+//! N ∈ {16, 64, 256} with and without a proportional churn schedule,
+//! plus the indexed-vs-legacy scheduler parity oracle at N = 64.
+//! `--quick` / `--paper` flags or `TCHAIN_SCALE=quick|paper`; `--seed N`
+//! reruns the sweep at a different master seed (the CI job uses two).
+//!
+//! Exits nonzero if any cell violates a safety property — completion,
+//! byte-exact plaintexts, zero unreciprocated key releases, ledger
+//! consistency, same-seed bit-identity, scheduler parity — so CI can
+//! gate on it directly.
+fn main() {
+    tchain_experiments::parse_jobs_args();
+    let mut scale = tchain_experiments::Scale::from_env();
+    let mut seed = 0x5CA1Eu64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = tchain_experiments::Scale::Quick,
+            "--paper" => scale = tchain_experiments::Scale::Paper,
+            "--seed" => {
+                if let Some(v) = args.next() {
+                    seed = parse_seed(&v);
+                }
+            }
+            _ => {}
+        }
+    }
+    println!("[net_scale | scale: {} | seed: {seed:#x}]", scale.name());
+    let doc = tchain_experiments::figures::net_scale::run_with_seed(scale, seed);
+    if !doc.all_safe {
+        eprintln!("net_scale: SAFETY VIOLATION — see table above");
+        std::process::exit(1);
+    }
+}
+
+fn parse_seed(v: &str) -> u64 {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    match parsed {
+        Ok(s) => s,
+        Err(_) => {
+            eprintln!("net_scale: bad --seed {v:?}, expected a u64");
+            std::process::exit(2);
+        }
+    }
+}

@@ -374,6 +374,33 @@ impl FrameDecoder {
         Ok(Some((frame, meta)))
     }
 
+    /// Drains every complete frame currently buffered into `out`, in
+    /// stream order, each paired with its [`CausalMeta`] stamp if any.
+    ///
+    /// This is the batched-dispatch entry: one transport poll can land
+    /// several frames (merged reads), a frame can straddle two reads
+    /// (split reads), and meta-stamped frames can interleave plain ones
+    /// mid-batch — the drain decodes exactly as many whole frames as
+    /// the buffer holds and leaves any trailing partial frame buffered
+    /// for the next poll. Equivalent to calling
+    /// [`FrameDecoder::next_frame_meta`] in a loop.
+    ///
+    /// # Errors
+    ///
+    /// On a malformed frame, returns the same typed [`FrameError`] the
+    /// incremental path would; frames decoded before the bad one are
+    /// already in `out` (the caller processes them, then drops the
+    /// connection — strict framing has no resync point).
+    pub fn drain_frames(
+        &mut self,
+        out: &mut Vec<(Frame, Option<CausalMeta>)>,
+    ) -> Result<(), FrameError> {
+        while let Some(item) = self.next_frame_meta()? {
+            out.push(item);
+        }
+        Ok(())
+    }
+
     /// Declares the stream finished (peer closed or reset the link).
     ///
     /// Returns `Err(TruncatedStream)` if bytes of an incomplete frame are

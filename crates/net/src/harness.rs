@@ -26,17 +26,42 @@
 use crate::content::{fingerprint, mix64, Content};
 use crate::frame::{CausalMeta, Frame, FrameError};
 use crate::runtime::{Checkpoint, NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime};
+use crate::sched::TimerWheel;
 use crate::telemetry::{virt_ms, FlightDump, FlightRecorder, PeerTelemetry, SwarmTelemetry};
 use crate::transport::{
     ChannelMesh, ChaosRecord, Delivery, NetError, RejectCause, Transport, TransportStats,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use tchain_obs::{
     trace_event, ChaosKind, Event, MetricName, RejectKind, TraceRecord, Tracer, WireMsg,
 };
-use tchain_proto::Tracker;
+use tchain_proto::{NeighborPolicy, Tracker};
 use tchain_proto::wire::Message;
-use tchain_sim::{ChaosAction, ChaosPlan, ChaosState, FaultPlan, FrameMutation, NodeId, SimRng};
+use tchain_sim::{
+    ChaosAction, ChaosPlan, ChaosState, ChurnPlan, ChurnState, FaultPlan, FrameMutation, NodeId,
+    SimRng,
+};
+
+/// Which per-tick peer scheduler the harness runs.
+///
+/// [`SchedMode::Indexed`] is the production scheduler: a
+/// [`TimerWheel`]-armed ready set visits only the peers with due timers
+/// or freshly delivered frames, so a mostly-idle 256-peer swarm costs
+/// O(active) per tick instead of O(N). [`SchedMode::LegacyLinear`] is
+/// the original every-peer scan, kept as the parity oracle: the
+/// scale-equivalence test in `tests/net_swarm.rs` pins the two modes to
+/// the identical delivered-frame fingerprint (the quiescence invariant
+/// documented on [`PeerRuntime::next_wake`] is what makes that hold),
+/// and the oracle stays until that proof ages out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Timer-wheel + ready-set scheduler (default).
+    #[default]
+    Indexed,
+    /// Original O(N)-per-tick scan over every peer. Parity oracle for
+    /// equivalence tests and the scale bench's baseline leg.
+    LegacyLinear,
+}
 
 /// Scenario parameters for one swarm run.
 #[derive(Debug, Clone)]
@@ -58,6 +83,11 @@ pub struct SwarmConfig {
     /// Byzantine chaos plan: frame corruption, duplication, reordering,
     /// resets and crash-restart schedules.
     pub chaos: ChaosPlan,
+    /// Membership churn schedule: staggered joins, flash crowds and
+    /// voluntary §II-B4 departures. Composes with `plan` and `chaos`.
+    pub churn: ChurnPlan,
+    /// Peer scheduler (indexed timer wheel vs legacy linear scan).
+    pub sched: SchedMode,
     /// Virtual seconds per tick (mesh transport).
     pub tick_dt: f64,
     /// Hard stop if the swarm has not drained by then.
@@ -82,6 +112,8 @@ impl Default for SwarmConfig {
             net: NetConfig::default(),
             plan: FaultPlan::none(),
             chaos: ChaosPlan::none(),
+            churn: ChurnPlan::none(),
+            sched: SchedMode::Indexed,
             tick_dt: 1.0,
             max_ticks: 4000,
             trace_capacity: 4096,
@@ -517,8 +549,22 @@ impl TelemetryState {
                 tracer.record(now, Event::MetricSample { peer: id, metric, value });
             }
         }
+        // `SwarmTelemetry::peers` is *defined* to be ascending-peer-id
+        // ordered — consumers (Prometheus exposition, fairness index
+        // pairing, the net_telemetry experiment's JSONL) index into it
+        // positionally. Enforce the invariant explicitly instead of
+        // inheriting it from BTreeMap iteration by accident: churn and
+        // departures leave non-contiguous id sets, so sort by the id
+        // carried in each block and assert the result.
+        let mut peer_metrics: Vec<PeerTelemetry> =
+            self.metrics.into_values().collect();
+        peer_metrics.sort_by_key(|m| m.peer);
+        debug_assert!(
+            peer_metrics.windows(2).all(|w| w[0].peer < w[1].peer),
+            "per-peer telemetry ids must be strictly ascending"
+        );
         let mut swarm = SwarmTelemetry {
-            peers: self.metrics.into_values().collect(),
+            peers: peer_metrics,
             ..SwarmTelemetry::default()
         };
         for &len in chain_lengths {
@@ -615,6 +661,14 @@ pub struct SwarmReport {
     pub crashes: u64,
     /// Checkpoint rejoins completed.
     pub rejoins: u64,
+    /// Peers that joined mid-run from the churn schedule.
+    pub churn_joins: u64,
+    /// Peers that left voluntarily mid-run (§II-B4 handoff) from the
+    /// churn schedule.
+    pub churn_departs: u64,
+    /// Every surviving peer's §II-D2 ledger matched its unreported
+    /// donor-transaction count at the end of the run.
+    pub ledger_ok: bool,
     /// Transport delivery counters.
     pub transport: TransportStats,
     /// Order-sensitive digest of every delivered frame — two runs with
@@ -676,6 +730,22 @@ pub struct SwarmHarness<T: Transport> {
     crashes: u64,
     rejoins: u64,
     telemetry: Option<TelemetryState>,
+    /// Timer index over peers ([`SchedMode::Indexed`]): each armed peer
+    /// has one authoritative wake time; `ready` collects peers that
+    /// received frames this tick and must run `on_tick` regardless.
+    wheel: TimerWheel,
+    ready: BTreeSet<u32>,
+    /// Expanded churn schedule; `None` when the plan is empty, so a
+    /// churn-free run makes zero extra RNG draws and keeps its
+    /// pre-churn fingerprint.
+    churn: Option<ChurnState>,
+    /// Next fresh peer id for churn joins (initial ids are 0..peers).
+    next_id: u32,
+    churn_joined: u64,
+    churn_departed: u64,
+    /// Voluntary departures that left *before* completing — excluded
+    /// from the completion target (they can never finish).
+    churn_departed_incomplete: u32,
 }
 
 impl<T: Transport> SwarmHarness<T> {
@@ -684,9 +754,14 @@ impl<T: Transport> SwarmHarness<T> {
     pub fn new(mut transport: T, cfg: SwarmConfig) -> Result<Self, NetError> {
         assert!(cfg.peers >= 2, "a swarm needs a seeder and a leecher");
         assert!(cfg.free_riders < cfg.peers, "leave at least the seeder compliant");
+        cfg.churn.validate();
         let content = Content::new(cfg.seed ^ 0x0C04_7E47, cfg.pieces, cfg.piece_len);
         let mut peers = BTreeMap::new();
-        let mut tracker = Tracker::new();
+        // Size tracker shards to the peak membership the scenario can
+        // reach; ≤ 64 expected peers degenerates to the flat historical
+        // layout (identical draw sequence, so 16-peer goldens hold).
+        let expected_peak = cfg.peers + cfg.churn.total_joins();
+        let mut tracker = Tracker::with_shards(Tracker::shards_for(expected_peak));
         let arm = !transport.reliable();
         for id in 0..cfg.peers {
             let role = if id == 0 {
@@ -717,6 +792,8 @@ impl<T: Transport> SwarmHarness<T> {
         let telemetry = cfg.telemetry.then(|| {
             TelemetryState::new(if cfg.trace_capacity > 0 { cfg.trace_capacity } else { 4096 })
         });
+        let churn = (!cfg.churn.is_none()).then(|| ChurnState::new(&cfg.churn));
+        let next_id = cfg.peers;
         Ok(SwarmHarness {
             transport,
             cfg,
@@ -734,55 +811,144 @@ impl<T: Transport> SwarmHarness<T> {
             crashes: 0,
             rejoins: 0,
             telemetry,
+            wheel: TimerWheel::new(),
+            ready: BTreeSet::new(),
+            churn,
+            next_id,
+            churn_joined: 0,
+            churn_departed: 0,
+            churn_departed_incomplete: 0,
         })
     }
 
     /// Runs the swarm to completion (all compliant leechers hold the
     /// whole file) or to `max_ticks`, and audits the result.
     pub fn run(mut self) -> Result<SwarmReport, NetError> {
-        // Tracker rendezvous + bitfield handshake.
+        // Tracker rendezvous + bitfield handshake. Request the §IV-A
+        // policy list (50), not the whole swarm: for pools of ≤ 51 the
+        // tracker's `k.min(pool-1)` cap makes the two requests
+        // draw-identical (same sampling branch, same RNG stream — the
+        // 16-peer goldens depend on that), and at 256 peers the bounded
+        // list is what keeps per-peer neighbor state O(policy), not
+        // O(N).
+        let list_k = NeighborPolicy::default().list_size;
         let mut staged: Vec<(NodeId, NodeId, Frame)> = Vec::new();
         let ids: Vec<u32> = self.peers.keys().copied().collect();
         for &id in &ids {
-            let members =
-                self.tracker.random_members(NodeId(id), ids.len(), &mut self.rng);
+            let members = self.tracker.random_members(NodeId(id), list_k, &mut self.rng);
             let peer = self.peers.get_mut(&id).expect("registered");
             let mut out: Outbox = Vec::new();
             peer.bootstrap(&members, &mut out);
             staged.extend(out.into_iter().map(|(to, f)| (NodeId(id), to, f)));
         }
         self.flush(staged)?;
+        if self.cfg.sched == SchedMode::Indexed {
+            for &id in &ids {
+                self.wheel.schedule(id, 0.0);
+            }
+        }
 
         let mut ticks = 0u64;
         let mut grace = 0u32;
+        let mut batch: Vec<Delivery> = Vec::new();
         while ticks < self.cfg.max_ticks {
             ticks += 1;
             let deliveries = self.transport.advance()?;
             let now = self.transport.now();
             let mut staged: Vec<(NodeId, NodeId, Frame)> = Vec::new();
-            for d in deliveries {
-                let violations_before = self.observer.violations.len();
-                self.observer.observe(&d, &mut self.tracer, now);
-                if let Some(tel) = self.telemetry.as_mut() {
-                    tel.on_delivery(&d, now);
-                    if self.observer.violations.len() > violations_before {
-                        tel.flight("violation", now);
+            // Batched dispatch: consecutive same-recipient deliveries
+            // share one peer lookup and one outbox. Audit (observer,
+            // telemetry, fingerprint fold) stays in exact delivery
+            // order, and the recipient's `on_frame`s run in that same
+            // order — the staged stream is byte-identical to the
+            // one-at-a-time path.
+            let mut it = deliveries.into_iter().peekable();
+            while let Some(first) = it.next() {
+                let to = first.to;
+                batch.clear();
+                batch.push(first);
+                while it.peek().is_some_and(|d| d.to == to) {
+                    batch.push(it.next().expect("peeked"));
+                }
+                for d in &batch {
+                    let violations_before = self.observer.violations.len();
+                    self.observer.observe(d, &mut self.tracer, now);
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        tel.on_delivery(d, now);
+                        if self.observer.violations.len() > violations_before {
+                            tel.flight("violation", now);
+                        }
+                    }
+                    self.fold(d);
+                }
+                if let Some(peer) = self.peers.get_mut(&to.0) {
+                    let mut out: Outbox = Vec::new();
+                    for d in batch.drain(..) {
+                        peer.on_frame(now, d.from, d.frame, &mut out);
+                    }
+                    staged.extend(out.into_iter().map(|(t, f)| (to, t, f)));
+                    // A delivered frame can unlock same-tick work
+                    // (reciprocation, key relay): run this peer's
+                    // on_tick now, exactly when the legacy scan would.
+                    self.ready.insert(to.0);
+                }
+            }
+            // Peers whose departure flag may flip this tick — only
+            // `on_tick` (depart_on_complete) and churn `leave` set it,
+            // so the ticked set plus churn victims covers all of them.
+            let mut woke: BTreeSet<u32> = BTreeSet::new();
+            match self.cfg.sched {
+                SchedMode::LegacyLinear => {
+                    self.ready.clear();
+                    for (&id, peer) in self.peers.iter_mut() {
+                        let mut out: Outbox = Vec::new();
+                        peer.on_tick(now, &mut out);
+                        staged.extend(out.into_iter().map(|(to, f)| (NodeId(id), to, f)));
                     }
                 }
-                self.fold(&d);
-                if let Some(peer) = self.peers.get_mut(&d.to.0) {
-                    let mut out: Outbox = Vec::new();
-                    peer.on_frame(now, d.from, d.frame, &mut out);
-                    staged.extend(out.into_iter().map(|(to, f)| (d.to, to, f)));
+                SchedMode::Indexed => {
+                    // Union of due timers and frame receivers, visited
+                    // in ascending id order — the same order the legacy
+                    // scan used; every skipped peer is quiescent (see
+                    // `PeerRuntime::next_wake`), so the staged stream
+                    // matches the full scan's bit for bit.
+                    let mut due = std::mem::take(&mut self.ready);
+                    self.wheel.pop_due(now, &mut due);
+                    for id in due {
+                        let Some(peer) = self.peers.get_mut(&id) else {
+                            self.wheel.cancel(id);
+                            continue;
+                        };
+                        let mut out: Outbox = Vec::new();
+                        peer.on_tick(now, &mut out);
+                        // Re-arm. Output means the peer is mid-burst:
+                        // tick it again next round, like the legacy
+                        // scan. Quiet peers park on their earliest
+                        // timer deadline, or disarm entirely until a
+                        // frame arrives. `now` (not now + dt) marks
+                        // "next transport poll" on wall-clock backends
+                        // too — it pops on the following tick either
+                        // way, since this tick's pop already ran.
+                        if out.is_empty() {
+                            match peer.next_wake() {
+                                Some(w) if w > now => self.wheel.schedule(id, w),
+                                Some(_) => self.wheel.schedule(id, now),
+                                None => self.wheel.cancel(id),
+                            }
+                        } else {
+                            self.wheel.schedule(id, now);
+                            staged.extend(out.into_iter().map(|(to, f)| (NodeId(id), to, f)));
+                        }
+                        woke.insert(id);
+                    }
                 }
             }
-            for (&id, peer) in self.peers.iter_mut() {
-                let mut out: Outbox = Vec::new();
-                peer.on_tick(now, &mut out);
-                staged.extend(out.into_iter().map(|(to, f)| (NodeId(id), to, f)));
-            }
             self.flush(staged)?;
-            self.handle_departures(now);
+            self.handle_churn(now, &mut woke)?;
+            match self.cfg.sched {
+                SchedMode::Indexed => self.handle_departures(now, Some(&woke)),
+                SchedMode::LegacyLinear => self.handle_departures(now, None),
+            }
             self.handle_chaos_records(now);
             self.handle_rejoins(now)?;
             self.handle_crashes(now);
@@ -802,7 +968,11 @@ impl<T: Transport> SwarmHarness<T> {
         let mut completed_compliant = 0;
         // From the scenario, not the survivors: a peer still waiting out
         // its crash outage at the deadline must count as incomplete.
-        let total_compliant = self.cfg.peers - 1 - self.cfg.free_riders;
+        // Churn joins raise the target; a voluntary departure that left
+        // before completing can never finish and leaves it.
+        let total_compliant = self.cfg.peers - 1 - self.cfg.free_riders
+            + self.churn_joined as u32
+            - self.churn_departed_incomplete;
         let mut completed_free_riders = 0;
         for (&id, p) in &self.peers {
             if let Some(t) = p.completion_time() {
@@ -869,6 +1039,13 @@ impl<T: Transport> SwarmHarness<T> {
             quarantines: peer_counters.iter().map(|(_, c)| c.quarantines).sum(),
             crashes: self.crashes,
             rejoins: self.rejoins,
+            churn_joins: self.churn_joined,
+            churn_departs: self.churn_departed,
+            ledger_ok: self
+                .peers
+                .values()
+                .filter(|p| !p.departed())
+                .all(PeerRuntime::ledger_consistent),
             transport: self.transport.stats(),
             fingerprint: self.fingerprint,
             events_recorded: self.tracer.emitted(),
@@ -894,19 +1071,102 @@ impl<T: Transport> SwarmHarness<T> {
         Ok(())
     }
 
-    fn handle_departures(&mut self, now: f64) {
-        let departed: Vec<u32> = self
-            .peers
-            .iter()
-            .filter(|(id, p)| p.departed() && !self.departed_handled.contains_key(id))
-            .map(|(&id, _)| id)
-            .collect();
+    /// Fires due churn events. Joins (staggered or flash-crowd) mint
+    /// fresh ids, register with transport and tracker, and bootstrap
+    /// off a policy-capped member list; voluntary departures run the
+    /// §II-B4 escrow handoff via [`PeerRuntime::leave`] on victims
+    /// drawn from the churn stream's own seeded RNG. Victims land in
+    /// `woke` so the departure sweep handles them this tick.
+    fn handle_churn(&mut self, now: f64, woke: &mut BTreeSet<u32>) -> Result<(), NetError> {
+        let Some(mut churn) = self.churn.take() else { return Ok(()) };
+        let list_k = NeighborPolicy::default().list_size;
+        let arm = !self.transport.reliable();
+        for _ in 0..churn.joins_due(now) {
+            let id = self.next_id;
+            self.next_id += 1;
+            let mut peer = PeerRuntime::new(
+                NodeId(id),
+                PeerRole::Compliant,
+                self.content,
+                self.cfg.net,
+                self.cfg.seed,
+            );
+            peer.set_arm_retries(arm);
+            self.transport.register(NodeId(id))?;
+            self.tracker.register(NodeId(id));
+            trace_event!(self.tracer, now, Event::PeerJoin { peer: id, compliant: true });
+            let members = self.tracker.random_members(NodeId(id), list_k, &mut self.rng);
+            let mut out: Outbox = Vec::new();
+            peer.bootstrap(&members, &mut out);
+            let staged: Vec<(NodeId, NodeId, Frame)> =
+                out.into_iter().map(|(to, f)| (NodeId(id), to, f)).collect();
+            self.peers.insert(id, peer);
+            self.flush(staged)?;
+            self.churn_joined += 1;
+            if self.cfg.sched == SchedMode::Indexed {
+                self.wheel.schedule(id, now);
+            }
+        }
+        for fraction in churn.departures_due(now) {
+            // Victims come from the live compliant leechers: the seeder
+            // stays (someone must hold the full file) and free-riders
+            // have nothing to hand off.
+            let eligible: Vec<NodeId> = self
+                .peers
+                .values()
+                .filter(|p| p.role() == PeerRole::Compliant && !p.departed())
+                .map(PeerRuntime::id)
+                .collect();
+            for victim in churn.pick_victims(fraction, &eligible) {
+                let Some(peer) = self.peers.get_mut(&victim.0) else { continue };
+                if !peer.is_complete() {
+                    self.churn_departed_incomplete += 1;
+                }
+                let mut out: Outbox = Vec::new();
+                peer.leave(&mut out);
+                let staged: Vec<(NodeId, NodeId, Frame)> =
+                    out.into_iter().map(|(to, f)| (victim, to, f)).collect();
+                self.flush(staged)?;
+                self.churn_departed += 1;
+                woke.insert(victim.0);
+                self.wheel.cancel(victim.0);
+            }
+        }
+        self.churn = Some(churn);
+        Ok(())
+    }
+
+    /// Sweeps newly departed peers out of transport/tracker view.
+    ///
+    /// `candidates` is the indexed-scheduler fast path: the departure
+    /// flag only flips inside `on_tick` (depart-on-complete) or a churn
+    /// `leave`, so the peers that ran this tick are the only ones that
+    /// can newly carry it — no full scan needed. `None` (legacy mode)
+    /// checks everyone.
+    fn handle_departures(&mut self, now: f64, candidates: Option<&BTreeSet<u32>>) {
+        let departed: Vec<u32> = match candidates {
+            Some(c) => c
+                .iter()
+                .filter(|id| {
+                    !self.departed_handled.contains_key(id)
+                        && self.peers.get(id).is_some_and(PeerRuntime::departed)
+                })
+                .copied()
+                .collect(),
+            None => self
+                .peers
+                .iter()
+                .filter(|(id, p)| p.departed() && !self.departed_handled.contains_key(id))
+                .map(|(&id, _)| id)
+                .collect(),
+        };
         for id in departed {
             self.transport.disconnect(NodeId(id));
             self.tracker.unregister(NodeId(id));
             self.departed_handled.insert(id, ());
             self.observer.note_departed(id);
             trace_event!(self.tracer, now, Event::PeerDepart { peer: id });
+            self.wheel.cancel(id);
             // The connection-reset every remaining peer would see: stop
             // serving the departed peer and abandon transactions toward
             // it (otherwise a donor keeps donating to a ghost and later
@@ -914,6 +1174,10 @@ impl<T: Transport> SwarmHarness<T> {
             for (&pid, peer) in self.peers.iter_mut() {
                 if pid != id && !peer.departed() {
                     peer.on_peer_gone(NodeId(id));
+                    // State changed outside this peer's own on_tick
+                    // (a freed donation slot can unlock work): wake it
+                    // next tick. `hasten` never delays an earlier wake.
+                    self.wheel.hasten(pid, now);
                 }
             }
         }
@@ -952,6 +1216,10 @@ impl<T: Transport> SwarmHarness<T> {
                                 tel.on_quarantine(rej.to.0, now, until);
                             }
                         }
+                        // Strike/quarantine state changed outside the
+                        // peer's own on_tick: wake it so its next_wake
+                        // re-arms off the new quarantine deadline.
+                        self.wheel.hasten(rej.to.0, now);
                     }
                 }
             }
@@ -982,6 +1250,7 @@ impl<T: Transport> SwarmHarness<T> {
             self.transport.disconnect(victim);
             self.tracker.unregister(victim);
             self.observer.note_departed(victim.0);
+            self.wheel.cancel(victim.0);
             trace_event!(self.tracer, now, Event::PeerCrash { peer: victim.0 });
             if let Some(tel) = self.telemetry.as_mut() {
                 tel.flight("crash", now);
@@ -989,6 +1258,7 @@ impl<T: Transport> SwarmHarness<T> {
             for (&pid, other) in self.peers.iter_mut() {
                 if pid != victim.0 && !other.departed() {
                     other.on_peer_gone(victim);
+                    self.wheel.hasten(pid, now);
                 }
             }
             let generation = checkpoint.generation() + 1;
@@ -1039,13 +1309,19 @@ impl<T: Transport> SwarmHarness<T> {
                 peer: id.0,
                 generation: slot.generation,
             });
-            let members =
-                self.tracker.random_members(id, self.cfg.peers as usize, &mut self.rng);
+            // Policy-capped list, same cap as the initial rendezvous:
+            // draw-identical to the old whole-swarm request for every
+            // pool the pre-scale scenarios reach (≤ 51 members).
+            let members = self
+                .tracker
+                .random_members(id, NeighborPolicy::default().list_size, &mut self.rng);
             let mut out: Outbox = Vec::new();
             peer.bootstrap(&members, &mut out);
             let staged: Vec<(NodeId, NodeId, Frame)> =
                 out.into_iter().map(|(to, f)| (id, to, f)).collect();
             self.peers.insert(id.0, peer);
+            // The restored peer starts ticking again next round.
+            self.wheel.schedule(id.0, now);
             self.flush(staged)?;
         }
         Ok(())
@@ -1053,11 +1329,16 @@ impl<T: Transport> SwarmHarness<T> {
 
     fn compliant_done(&self) -> bool {
         self.pending_rejoin.is_empty()
+            && self.churn.as_ref().is_none_or(ChurnState::done)
             && self
                 .peers
                 .values()
                 .filter(|p| p.role() == PeerRole::Compliant)
-                .all(|p| p.is_complete())
+                // A voluntary departure that left incomplete is out of
+                // the completion set — it can never finish. Without
+                // churn `departed` implies `is_complete`, so this is
+                // the historical predicate on every pre-churn scenario.
+                .all(|p| p.is_complete() || p.departed())
     }
 
     fn plaintexts_ok(&self) -> bool {
@@ -1249,6 +1530,112 @@ mod tests {
             assert!(!dump.records.is_empty());
             assert!(!dump.to_jsonl().is_empty());
         }
+    }
+
+    #[test]
+    fn indexed_scheduler_matches_legacy_fingerprint() {
+        let base = SwarmConfig { peers: 8, ..SwarmConfig::default() };
+        let a = run_swarm(SwarmConfig { sched: SchedMode::Indexed, ..base.clone() }).expect("a");
+        let b = run_swarm(SwarmConfig { sched: SchedMode::LegacyLinear, ..base }).expect("b");
+        assert_eq!(a.fingerprint, b.fingerprint, "skipping quiescent peers must be invisible");
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.completion_times, b.completion_times);
+    }
+
+    #[test]
+    fn indexed_scheduler_matches_legacy_under_chaos() {
+        // Chaos exercises every external-mutation poke: quarantines,
+        // crash teardown, rejoin bootstraps. A missed wake diverges the
+        // fingerprint immediately.
+        let base = SwarmConfig {
+            peers: 8,
+            chaos: ChaosPlan::byzantine(5, 0.06).with_crash_restart(6.0, 0.25, 5.0),
+            max_ticks: 8000,
+            ..SwarmConfig::default()
+        };
+        let a = run_swarm(SwarmConfig { sched: SchedMode::Indexed, ..base.clone() }).expect("a");
+        let b = run_swarm(SwarmConfig { sched: SchedMode::LegacyLinear, ..base }).expect("b");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.completion_times, b.completion_times);
+    }
+
+    #[test]
+    fn churn_joins_and_departures_complete() {
+        let cfg = SwarmConfig {
+            peers: 10,
+            churn: ChurnPlan::none().with_joins(12.0, 3, 2.0).with_departures(30.0, 0.25),
+            max_ticks: 8000,
+            ..SwarmConfig::default()
+        };
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.churn_joins, 3);
+        assert!(report.churn_departs > 0, "a quarter of the live leechers must leave");
+        assert!(report.ledger_ok, "churn must preserve the k-pending ledger invariant");
+        assert_eq!(report.completed_compliant, report.total_compliant);
+    }
+
+    #[test]
+    fn flash_crowd_is_absorbed() {
+        let cfg = SwarmConfig {
+            peers: 8,
+            churn: ChurnPlan::none().with_flash_crowd(10.0, 6),
+            max_ticks: 8000,
+            ..SwarmConfig::default()
+        };
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.churn_joins, 6);
+        assert_eq!(report.total_compliant, 8 - 1 + 6);
+        assert_eq!(report.completed_compliant, report.total_compliant);
+    }
+
+    #[test]
+    fn churn_same_seed_same_fingerprint() {
+        let cfg = SwarmConfig {
+            peers: 10,
+            churn: ChurnPlan::none()
+                .with_joins(12.0, 4, 1.0)
+                .with_departures(25.0, 0.2)
+                .with_flash_crowd(40.0, 3),
+            max_ticks: 8000,
+            ..SwarmConfig::default()
+        };
+        let a = run_swarm(cfg.clone()).expect("a");
+        let b = run_swarm(cfg).expect("b");
+        assert_eq!(a.fingerprint, b.fingerprint, "churn must stay deterministic");
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.churn_joins, b.churn_joins);
+        assert_eq!(a.churn_departs, b.churn_departs);
+        assert_eq!(a.completion_times, b.completion_times);
+    }
+
+    #[test]
+    fn churn_free_runs_keep_the_pre_churn_fingerprint_shape() {
+        // ChurnPlan::none() must add zero RNG draws and zero report
+        // deltas relative to the pre-churn harness.
+        let report = run_swarm(SwarmConfig::default()).expect("run");
+        assert_eq!(report.churn_joins, 0);
+        assert_eq!(report.churn_departs, 0);
+        assert!(report.ledger_ok);
+    }
+
+    #[test]
+    fn telemetry_peer_metrics_are_id_ordered_despite_gaps() {
+        // `SwarmTelemetry::peers` ascending-id order is a documented
+        // invariant, not a BTreeMap accident: feed finish() ids out of
+        // order with the gaps a departed/churned swarm leaves.
+        let tel = TelemetryState::new(64);
+        let ids = [42u32, 3, 7, 0];
+        let peers: Vec<(u32, PeerCounters, i64)> =
+            ids.iter().map(|&id| (id, PeerCounters::default(), 0i64)).collect();
+        let (swarm, rings, _) = tel.finish(1.0, &peers, &[2, 3], &[("gift", 1)]);
+        let got: Vec<u32> = swarm.peers.iter().map(|m| m.peer).collect();
+        assert_eq!(got, vec![0, 3, 7, 42]);
+        let ring_ids: Vec<u32> = rings.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ring_ids, vec![0, 3, 7, 42], "trace rings share the ordering contract");
     }
 
     #[test]

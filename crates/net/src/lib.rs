@@ -34,6 +34,7 @@ mod content;
 mod frame;
 mod harness;
 mod runtime;
+pub mod sched;
 mod tcp;
 pub mod telemetry;
 mod transport;
@@ -43,7 +44,8 @@ pub use frame::{
     frame_checksum, CausalMeta, Frame, FrameDecoder, FrameError, CAUSAL_META_LEN,
     FRAME_HEADER_LEN, MAX_FRAME_BODY,
 };
-pub use harness::{run_swarm, Observer, SwarmConfig, SwarmHarness, SwarmReport};
+pub use harness::{run_swarm, Observer, SchedMode, SwarmConfig, SwarmHarness, SwarmReport};
+pub use sched::TimerWheel;
 pub use telemetry::{FlightDump, FlightRecorder, PeerTelemetry, SwarmTelemetry};
 pub use runtime::{
     Checkpoint, CheckpointError, NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime,

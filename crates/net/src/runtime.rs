@@ -794,6 +794,97 @@ impl PeerRuntime {
         }
     }
 
+    /// Voluntary departure (churn): run the §II-B4 handoff — every key
+    /// still awaiting its reciprocation report goes to the designated
+    /// payee — and leave, whether or not the file is complete. This is
+    /// the same escrow path `depart_on_complete` takes; a `ChurnPlan`
+    /// departure simply invokes it early.
+    pub fn leave(&mut self, out: &mut Outbox) {
+        if !self.departed {
+            self.depart(out);
+        }
+    }
+
+    /// Earliest future time at which this peer's *timers* require an
+    /// `on_tick`, or `None` when the peer is purely reactive (nothing
+    /// will happen until a frame arrives). The indexed harness
+    /// scheduler parks peers on this: the quiescence invariant — an
+    /// `on_tick` that emits nothing draws no RNG and mutates nothing
+    /// except timer expirations — is what makes skipping idle peers
+    /// bit-identical to the legacy every-peer scan.
+    ///
+    /// The timer sources, each with its wake deadline:
+    /// * quarantine expiry (`until`) — re-enables donor candidates,
+    /// * obligation expiry (`since + stall_timeout`),
+    /// * report retransmissions (`next_at`),
+    /// * donor-transaction stall sweep (`started + stall_timeout`),
+    /// * gift-suppression expiry (`sent + stall_timeout`).
+    ///
+    /// Strict-`>` deadlines (stall sweeps) fire on the first tick
+    /// *after* the deadline; waking exactly at the deadline is a
+    /// harmless no-op and the harness re-arms one tick later, which
+    /// lands on the same tick the legacy scan acted on.
+    pub fn next_wake(&self) -> Option<f64> {
+        if self.departed {
+            return None;
+        }
+        let mut wake: Option<f64> = None;
+        let mut fold = |t: f64| match wake {
+            Some(w) if w <= t => {}
+            _ => wake = Some(t),
+        };
+        for &until in self.quarantined.values() {
+            fold(until);
+        }
+        let stall = self.cfg.stall_timeout;
+        for ob in &self.obligations {
+            fold(ob.since + stall);
+        }
+        for r in &self.retries {
+            fold(r.next_at);
+        }
+        for txn in self.donor_txns.values() {
+            if !txn.reported {
+                fold(txn.started + stall);
+            }
+        }
+        for &sent in self.gifted.values() {
+            fold(sent + stall);
+        }
+        wake
+    }
+
+    /// §II-D2 ledger consistency: for every neighbor `n`, `ledger[n]`
+    /// equals the number of unreported donor transactions keyed
+    /// `(n, _)`. Donations increment it, first reports and the stall
+    /// sweep decrement it, peer-gone removes both sides — churn must
+    /// not break the correspondence. Exposed for the property suite.
+    pub fn ledger_consistent(&self) -> bool {
+        let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+        for (&(requestor, _), txn) in &self.donor_txns {
+            if !txn.reported {
+                *counts.entry(requestor).or_insert(0) += 1;
+            }
+        }
+        self.ledger
+            .iter()
+            .all(|(&n, &k)| counts.get(&n).copied().unwrap_or(0) == k)
+            && counts
+                .iter()
+                .all(|(&n, &k)| self.ledger.get(&n).copied().unwrap_or(0) == k)
+    }
+
+    /// Reciprocations currently owed (§II-B2 obligations outstanding).
+    pub fn pending_obligations(&self) -> usize {
+        self.obligations.len()
+    }
+
+    /// Escrowed keys currently held as payee for departed donors
+    /// (§II-B4), counted across all `(donor, piece)` entries.
+    pub fn escrow_held(&self) -> usize {
+        self.escrow.values().map(|held| held.len()).sum()
+    }
+
     /// §II-B4 graceful departure: hand every key still awaiting its
     /// reciprocation report to the designated payee, then leave.
     fn depart(&mut self, out: &mut Outbox) {

@@ -183,3 +183,173 @@ fn unknown_kind_byte_is_rejected() {
     dec.push(&raw_frame(0x7F, &[1, 2, 3], None));
     assert!(matches!(dec.next_frame(), Err(FrameError::UnknownKind(0x7F))));
 }
+
+// ---------------------------------------------------------------------
+// Structure-aware batched-dispatch fuzz.
+//
+// The batched read path (`FrameDecoder::drain_frames`, used by the TCP
+// transport's per-poll loop) must be observationally identical to the
+// one-frame-at-a-time path whatever the wire chunking: frames split
+// across reads, many frames merged into one read, and causal-meta
+// frames interleaved mid-batch. A seeded generator builds valid streams
+// and the tests replay them under random chunkings; a second pass flips
+// one byte and demands a typed error with the pre-mutation prefix
+// intact.
+// ---------------------------------------------------------------------
+
+use tchain_net::CausalMeta;
+
+/// Draws a random valid frame and whether it carries a causal header.
+fn gen_frame(rng: &mut SimRng, i: u32) -> (Frame, Option<CausalMeta>) {
+    let frame = match rng.below(4) {
+        0 => Frame::Control(Message::Have { piece: PieceId(i) }),
+        1 => Frame::Control(Message::ReceptionReport { requestor: NodeId(rng.below(40) as u32), piece: PieceId(i) }),
+        2 => Frame::PieceData { piece: PieceId(i), payload: vec![i as u8; rng.below(200)] },
+        _ => Frame::PieceData { piece: PieceId(i), payload: Vec::new() },
+    };
+    let meta = (rng.below(2) == 0).then(|| CausalMeta {
+        origin: rng.below(64) as u32,
+        lamport: rng.below(1 << 20) as u64,
+        span: rng.below(1 << 16) as u64,
+    });
+    (frame, meta)
+}
+
+/// Encodes a generated stream, returning the byte stream and the byte
+/// offset where each frame starts.
+fn encode_stream(items: &[(Frame, Option<CausalMeta>)]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut starts = Vec::with_capacity(items.len());
+    for (frame, meta) in items {
+        starts.push(bytes.len());
+        bytes.extend_from_slice(&frame.encode_with_meta(meta.as_ref()));
+    }
+    (bytes, starts)
+}
+
+#[test]
+fn batched_drain_equals_frame_at_a_time_under_random_chunking() {
+    let mut rng = SimRng::new(0x0BA7_C4ED);
+    for round in 0..48u32 {
+        let n = 2 + rng.below(14);
+        let items: Vec<_> = (0..n).map(|i| gen_frame(&mut rng, round * 32 + i as u32)).collect();
+        let (stream, _) = encode_stream(&items);
+
+        // Reference: one frame at a time, whole stream in one push.
+        let mut reference = FrameDecoder::new();
+        reference.push(&stream);
+        let mut expect = Vec::new();
+        while let Some(item) = reference.next_frame_meta().expect("valid stream") {
+            expect.push(item);
+        }
+        reference.finish().expect("clean stream");
+        assert_eq!(expect, items, "encode/decode roundtrip");
+
+        // Batched: random split/merged reads, drain after every push.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut fed = 0usize;
+        while fed < stream.len() {
+            // Wildly different chunk sizes: sub-header slivers,
+            // mid-body splits, and multi-frame merges.
+            let scale = rng.below(3) * 150;
+            let end = (fed + 1 + rng.below(1 + scale)).min(stream.len());
+            dec.push(&stream[fed..end]);
+            fed = end;
+            dec.drain_frames(&mut got).expect("valid stream");
+        }
+        dec.finish().expect("clean stream");
+        assert_eq!(got, items, "round {round}: batched drain diverged from reference");
+    }
+}
+
+#[test]
+fn meta_frames_interleaved_mid_batch_keep_their_headers() {
+    // Alternating bare/meta frames delivered as ONE read: the batch
+    // walker must attach each causal header to exactly its own frame.
+    let items: Vec<(Frame, Option<CausalMeta>)> = (0..12u32)
+        .map(|i| {
+            let frame = Frame::Control(Message::Have { piece: PieceId(i) });
+            let meta = (i % 2 == 1).then(|| CausalMeta {
+                origin: i,
+                lamport: u64::from(i) * 7 + 1,
+                span: u64::from(i),
+            });
+            (frame, meta)
+        })
+        .collect();
+    let (stream, _) = encode_stream(&items);
+    let mut dec = FrameDecoder::new();
+    dec.push(&stream);
+    let mut got = Vec::new();
+    dec.drain_frames(&mut got).expect("valid stream");
+    dec.finish().expect("clean stream");
+    assert_eq!(got, items);
+    assert!(got.iter().step_by(2).all(|(_, m)| m.is_none()));
+    assert!(got.iter().skip(1).step_by(2).all(|(_, m)| m.is_some()));
+}
+
+#[test]
+fn single_bit_flip_yields_typed_error_and_intact_prefix() {
+    let mut rng = SimRng::new(0x00F1_1F17);
+    for round in 0..64u32 {
+        let n = 2 + rng.below(10);
+        let items: Vec<_> = (0..n).map(|i| gen_frame(&mut rng, round * 32 + i as u32)).collect();
+        let (mut stream, starts) = encode_stream(&items);
+
+        let pos = rng.below(stream.len());
+        let bit = 1u8 << rng.below(8);
+        stream[pos] ^= bit;
+        // Index of the frame the mutation lands in.
+        let victim = starts.iter().rposition(|&s| s <= pos).expect("starts[0] == 0");
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut fed = 0usize;
+        let mut saw_error = false;
+        while fed < stream.len() {
+            let end = (fed + 1 + rng.below(300)).min(stream.len());
+            dec.push(&stream[fed..end]);
+            fed = end;
+            match dec.drain_frames(&mut got) {
+                Ok(()) => {}
+                Err(err) => {
+                    // Typed, and recognisably a framing failure.
+                    assert!(
+                        matches!(
+                            err,
+                            FrameError::ChecksumMismatch { .. }
+                                | FrameError::UnknownKind(_)
+                                | FrameError::Oversized { .. }
+                                | FrameError::TruncatedBody
+                                | FrameError::Control(_)
+                        ),
+                        "round {round}: unexpected error shape {err:?}"
+                    );
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        // A flip that enlarges a length prefix within bounds parks the
+        // decoder instead — then the truncated stream must fail finish().
+        if !saw_error {
+            assert!(
+                dec.finish().is_err(),
+                "round {round}: mutated stream decoded clean at byte {pos} bit {bit:#x}"
+            );
+        }
+        // Every frame wholly before the mutated one survived verbatim,
+        // and nothing after the victim ever surfaced.
+        assert!(
+            got.len() <= victim,
+            "round {round}: decoded past the mutation ({} > {victim})",
+            got.len()
+        );
+        assert_eq!(
+            got.as_slice(),
+            &items[..got.len()],
+            "round {round}: pre-mutation prefix corrupted"
+        );
+    }
+}

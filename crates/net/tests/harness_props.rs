@@ -1,0 +1,189 @@
+//! Property-based tests for the scale layer: the indexed scheduler's
+//! total order, and the §II-D2 ledger / §II-B4 escrow invariants under
+//! arbitrary churn schedules.
+//!
+//! The [`TimerWheel`] properties run against the data structure alone —
+//! hundreds of cases are cheap. The swarm-level properties each boot a
+//! real encrypted swarm per case, so they run fewer cases with tight
+//! piece counts; the point is the *randomised schedule*, not volume.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tchain_net::{run_swarm, NetConfig, SwarmConfig, TimerWheel};
+use tchain_sim::ChurnPlan;
+
+/// Quantised wake time: keeps proptest away from NaN/∞ while still
+/// exercising duplicate timestamps across distinct peers.
+fn grid(t: u8) -> f64 {
+    f64::from(t) * 0.25
+}
+
+proptest! {
+    /// Popping the wheel yields a strictly increasing (time, peer)
+    /// sequence — the deterministic total order every indexed run
+    /// depends on — regardless of the order timers were armed in.
+    #[test]
+    fn wheel_pop_order_is_total_and_insertion_independent(
+        arms in proptest::collection::vec((0u32..64, 0u8..40), 1..80),
+    ) {
+        // Last arm per peer wins (schedule() replaces).
+        let mut fwd = TimerWheel::new();
+        let mut rev = TimerWheel::new();
+        for &(p, t) in &arms {
+            fwd.schedule(p, grid(t));
+        }
+        for &(p, t) in arms.iter().rev() {
+            // Reverse insertion ends with the *first* element's value
+            // armed, so replay the forward tail to converge state.
+            rev.schedule(p, grid(t));
+        }
+        for &(p, t) in &arms {
+            rev.schedule(p, grid(t));
+        }
+        let mut seq_f = Vec::new();
+        while let Some(w) = fwd.pop_next() {
+            seq_f.push(w);
+        }
+        let mut seq_r = Vec::new();
+        while let Some(w) = rev.pop_next() {
+            seq_r.push(w);
+        }
+        prop_assert_eq!(&seq_f, &seq_r, "pop order depends on insertion history");
+        // Strictly increasing under (time, peer): no duplicates, no
+        // inversions, every armed peer exactly once.
+        for w in seq_f.windows(2) {
+            let ((t0, p0), (t1, p1)) = (w[0], w[1]);
+            prop_assert!(
+                t0 < t1 || (t0 == t1 && p0 < p1),
+                "inversion: ({t0}, {p0}) before ({t1}, {p1})"
+            );
+        }
+        let armed: BTreeSet<u32> = arms.iter().map(|&(p, _)| p).collect();
+        let popped: BTreeSet<u32> = seq_f.iter().map(|&(_, p)| p).collect();
+        prop_assert_eq!(armed, popped);
+    }
+
+    /// `hasten` never delays a wake and `cancel` always silences one,
+    /// no matter what sequence of operations preceded them.
+    #[test]
+    fn wheel_hasten_monotone_and_cancel_final(
+        ops in proptest::collection::vec((0u32..16, 0u8..3, 0u8..40), 1..60),
+    ) {
+        let mut wheel = TimerWheel::new();
+        let mut model: std::collections::BTreeMap<u32, f64> = Default::default();
+        for &(p, op, t) in &ops {
+            let at = grid(t);
+            match op {
+                0 => {
+                    wheel.schedule(p, at);
+                    model.insert(p, at);
+                }
+                1 => {
+                    wheel.hasten(p, at);
+                    let e = model.entry(p).or_insert(at);
+                    if at < *e {
+                        *e = at;
+                    }
+                }
+                _ => {
+                    wheel.cancel(p);
+                    model.remove(&p);
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.len());
+        }
+        for (&p, &at) in &model {
+            prop_assert_eq!(wheel.armed_at(p), Some(at), "peer {}", p);
+        }
+        let mut popped = Vec::new();
+        while let Some((at, p)) = wheel.pop_next() {
+            popped.push((p, at));
+        }
+        let expect: Vec<(u32, f64)> = {
+            let mut v: Vec<_> = model.into_iter().collect();
+            v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            v
+        };
+        prop_assert_eq!(popped, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any join/leave schedule leaves every surviving peer's §II-D2
+    /// k-pending ledger consistent with its unreported donor
+    /// transactions, and the swarm still drains to completion with zero
+    /// unreciprocated key releases.
+    #[test]
+    fn churn_preserves_ledger_invariant(
+        seed in 1u64..1 << 40,
+        join_at in 4u8..20,
+        joins in 1u32..4,
+        spacing in 1u8..4,
+        depart_at in 20u8..40,
+        fraction in 0.05f64..0.45,
+    ) {
+        let cfg = SwarmConfig {
+            peers: 8,
+            pieces: 12,
+            piece_len: 256,
+            seed,
+            churn: ChurnPlan::none()
+                .with_joins(f64::from(join_at), joins, f64::from(spacing))
+                .with_departures(f64::from(depart_at), fraction),
+            ..SwarmConfig::default()
+        };
+        let report = run_swarm(cfg).expect("mesh transport");
+        prop_assert!(report.ledger_ok, "ledger drifted from unreported donor txns");
+        prop_assert!(
+            report.violations.is_empty(),
+            "unreciprocated key release under churn: {:?}",
+            report.violations
+        );
+        prop_assert!(report.plaintext_ok);
+        prop_assert_eq!(report.churn_joins, u64::from(joins));
+        prop_assert_eq!(report.completed_compliant, report.total_compliant);
+    }
+
+    /// §II-B4: whatever the departure interleaving — voluntary churn
+    /// departures stacked on depart-on-complete — obligations held by
+    /// leaving donors are handed off, never dropped, and no payee is
+    /// left waiting on a key that a departed peer owed.
+    #[test]
+    fn escrow_obligations_survive_departure_interleavings(
+        seed in 1u64..1 << 40,
+        depart_at in 8u8..30,
+        fraction in 0.1f64..0.5,
+        second_wave in 0u8..2,
+    ) {
+        let mut churn = ChurnPlan::none().with_departures(f64::from(depart_at), fraction);
+        if second_wave == 1 {
+            churn = churn.with_departures(f64::from(depart_at) + 9.0, fraction / 2.0);
+        }
+        let cfg = SwarmConfig {
+            peers: 10,
+            pieces: 12,
+            piece_len: 256,
+            seed,
+            net: NetConfig { depart_on_complete: true, ..NetConfig::default() },
+            churn,
+            ..SwarmConfig::default()
+        };
+        let report = run_swarm(cfg).expect("mesh transport");
+        prop_assert!(
+            report.violations.is_empty(),
+            "escrow handoff broke an invariant: {:?}",
+            report.violations
+        );
+        prop_assert!(report.plaintext_ok);
+        prop_assert!(report.ledger_ok);
+        prop_assert!(report.churn_departs > 0, "schedule must actually remove peers");
+        // Mass departures must travel the escrow path, not starve it.
+        prop_assert!(
+            report.escrow_transfers > 0,
+            "no §II-B4 escrow transfer despite {} departures",
+            report.churn_departs
+        );
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod churn;
 mod clock;
 pub mod fault;
 mod flow;
@@ -47,6 +48,7 @@ mod rng;
 mod units;
 
 pub use chaos::{ChaosAction, ChaosPlan, ChaosState, ChaosStats, CrashRestart, FrameMutation};
+pub use churn::{ChurnEvent, ChurnPlan, ChurnState, ChurnStats};
 pub use clock::{Clock, Periodic};
 pub use fault::{CrashSpec, FaultPlan, FaultState, FaultStats, LatencyModel, Partition, Route};
 pub use flow::{Flow, FlowId, FlowScheduler, FlowStats};

@@ -107,3 +107,87 @@ fn net_runtime_agrees_with_fluid_simulator() {
         sim_mcl
     );
 }
+
+// ---------------------------------------------------------------------
+// Scale & churn (indexed scheduler, ChurnPlan membership).
+// ---------------------------------------------------------------------
+
+use tchain::net::SchedMode;
+use tchain::sim::ChurnPlan;
+
+/// The indexed timer-wheel scheduler is a pure optimisation: at 64
+/// peers with no churn it must reproduce the legacy linear scan's
+/// frame stream bit for bit. The legacy path survives only as this
+/// parity oracle.
+#[test]
+fn sixty_four_peer_indexed_fingerprint_matches_legacy_linear_scan() {
+    let cfg = |sched| SwarmConfig {
+        peers: 64,
+        pieces: 12,
+        piece_len: 256,
+        seed: 0x5CA1E64,
+        sched,
+        ..SwarmConfig::default()
+    };
+    let indexed = run_swarm(cfg(SchedMode::Indexed)).expect("indexed run");
+    let legacy = run_swarm(cfg(SchedMode::LegacyLinear)).expect("legacy run");
+    assert_eq!(indexed.fingerprint, legacy.fingerprint, "frame-stream digest diverged");
+    assert_eq!(indexed.ticks, legacy.ticks);
+    assert_eq!(indexed.completion_times, legacy.completion_times);
+    assert_eq!(indexed.peer_counters, legacy.peer_counters);
+    assert!(indexed.ok(), "violations: {:?}", indexed.violations);
+}
+
+/// 64 peers under full churn — staggered joins, a flash crowd and a
+/// departure wave — still drain with zero unreciprocated key releases,
+/// a consistent §II-D2 ledger on every survivor, and a bit-identical
+/// rerun under the same seed.
+#[test]
+fn sixty_four_peer_churning_swarm_holds_invariants_and_determinism() {
+    let cfg = || SwarmConfig {
+        peers: 64,
+        pieces: 12,
+        piece_len: 256,
+        seed: 0xC402464,
+        churn: ChurnPlan::none()
+            .with_joins(10.0, 6, 2.0)
+            .with_flash_crowd(30.0, 12)
+            .with_departures(50.0, 0.2),
+        ..SwarmConfig::default()
+    };
+    let a = run_swarm(cfg()).expect("run a");
+    assert!(a.violations.is_empty(), "violations: {:?}", a.violations);
+    assert!(a.plaintext_ok && a.ledger_ok);
+    assert_eq!(a.churn_joins, 18, "6 staggered + 12 flash-crowd arrivals");
+    assert!(a.churn_departs > 0);
+    assert_eq!(a.completed_compliant, a.total_compliant);
+    let b = run_swarm(cfg()).expect("run b");
+    assert_eq!(a.fingerprint, b.fingerprint, "same-seed churn rerun must be bit-identical");
+    assert_eq!(a.completion_times, b.completion_times);
+}
+
+/// PR 8 acceptance: a 256-peer churning swarm completes with zero
+/// unreciprocated key releases. Heavier than the rest of the suite, so
+/// pieces stay small; the `net_scale` experiment runs the full-size
+/// version.
+#[test]
+fn two_hundred_fifty_six_peer_churning_swarm_completes() {
+    let report = run_swarm(SwarmConfig {
+        peers: 256,
+        pieces: 8,
+        piece_len: 128,
+        seed: 0x5CA1E256,
+        max_ticks: 20_000,
+        churn: ChurnPlan::none().with_flash_crowd(20.0, 32).with_departures(60.0, 0.15),
+        ..SwarmConfig::default()
+    })
+    .expect("mesh transport");
+    assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+    assert!(report.plaintext_ok && report.ledger_ok);
+    assert_eq!(report.churn_joins, 32);
+    assert!(report.churn_departs > 0);
+    assert_eq!(
+        report.completed_compliant, report.total_compliant,
+        "every surviving compliant leecher completes at N=256"
+    );
+}
