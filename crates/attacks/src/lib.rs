@@ -43,6 +43,11 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// The plain §III-A free-rider: zero upload, no manipulations.
+    pub fn zero_upload() -> Self {
+        Strategy::FreeRider(FreeRiderConfig::default())
+    }
+
     /// The §IV-C free-rider: zero upload + large-view + whitewashing.
     pub fn aggressive_free_rider() -> Self {
         Strategy::FreeRider(FreeRiderConfig { large_view: true, whitewash: true, collude: None })
@@ -75,6 +80,14 @@ impl Strategy {
             Strategy::Compliant => None,
         }
     }
+
+    /// Whether the strategy mounts any manipulation beyond zero upload
+    /// (large-view, whitewashing, or collusion). Drivers use this to gate
+    /// attack machinery so manipulation-free runs stay draw-for-draw
+    /// identical to their pre-strategy baselines.
+    pub fn manipulates(&self) -> bool {
+        self.free_rider().is_some_and(FreeRiderConfig::manipulates)
+    }
 }
 
 /// Manipulation techniques a free-rider layers on top of zero upload.
@@ -89,6 +102,13 @@ pub struct FreeRiderConfig {
     pub whitewash: bool,
     /// Colluder set, for false reception reports in T-Chain (§IV-D).
     pub collude: Option<GroupId>,
+}
+
+impl FreeRiderConfig {
+    /// Whether any manipulation technique is enabled.
+    pub fn manipulates(&self) -> bool {
+        self.large_view || self.whitewash || self.collude.is_some()
+    }
 }
 
 /// Tracks which live identities belong to which colluder set, across
@@ -204,6 +224,16 @@ mod tests {
         assert!(!Strategy::aggressive_free_rider().uploads());
         assert!(Strategy::aggressive_free_rider().is_free_rider());
         assert!(!Strategy::Compliant.is_free_rider());
+    }
+
+    #[test]
+    fn zero_upload_has_no_manipulations() {
+        let s = Strategy::zero_upload();
+        assert!(s.is_free_rider() && !s.uploads());
+        assert!(!s.manipulates());
+        assert!(Strategy::aggressive_free_rider().manipulates());
+        assert!(Strategy::colluding_free_rider(GroupId(0)).manipulates());
+        assert!(!Strategy::Compliant.manipulates());
     }
 
     #[test]

@@ -365,6 +365,75 @@ pub fn write_chaos_summary() -> std::io::Result<std::path::PathBuf> {
     Ok(p)
 }
 
+/// Runs one adversarial swarm through the net harness and returns its
+/// JSON record: wall clock, tick throughput, the audit-ledger totals
+/// and whether the compliant-peer incentive guarantee held.
+fn attacks_scenario_json(name: &str, strategies: Vec<(u32, tchain_net::Strategy)>) -> String {
+    let cfg = tchain_net::SwarmConfig {
+        peers: 32,
+        pieces: 24,
+        piece_len: 1024,
+        seed: 0xA77C,
+        max_ticks: 8_000,
+        strategies,
+        ..tchain_net::SwarmConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let report = tchain_net::run_swarm(cfg).expect("channel mesh cannot fail");
+    let secs = start.elapsed().as_secs_f64();
+    let safe = report.completed_compliant == report.total_compliant
+        && report.plaintext_ok
+        && report.ledger_ok
+        && report.violations.is_empty()
+        && report.false_report_log.len() as u64 == report.false_reports
+        && report.colluder_gain <= report.false_reports;
+    format!(
+        "{{\"scenario\":\"{name}\",\"wall_clock_s\":{secs:.6},\"ticks\":{},\"ticks_per_s\":{:.1},\"false_reports\":{},\"colluder_gain\":{},\"whitewash_rejoins\":{},\"tracker_queries\":{},\"sybil_collisions\":{},\"safe\":{safe}}}",
+        report.ticks,
+        report.ticks as f64 / secs.max(1e-9),
+        report.false_reports,
+        report.colluder_gain,
+        report.whitewash_rejoins,
+        report.tracker_queries,
+        report.sybil_collisions,
+    )
+}
+
+/// Measures the adversary engine's harness cost: a clean 32-peer
+/// control run against the same swarm with 25 % aggressive free-riders
+/// (§IV-C large-view + whitewash) and with a §IV-D collusion ring. The
+/// `safe` flag per scenario is the headline — strategic manipulation
+/// must cost the attackers, never the compliant peers — and the tick
+/// throughput ratio prices the engine itself. Returns the
+/// machine-readable `BENCH_attacks.json` payload (hand-formatted, no
+/// serde).
+pub fn attacks_summary_json() -> String {
+    use tchain_net::{GroupId, Strategy};
+    let scenarios = [
+        attacks_scenario_json("clean", Vec::new()),
+        attacks_scenario_json(
+            "aggressive-25pct",
+            (24..32).map(|id| (id, Strategy::aggressive_free_rider())).collect(),
+        ),
+        attacks_scenario_json(
+            "collusion-ring",
+            (28..32).map(|id| (id, Strategy::colluding_free_rider(GroupId(0)))).collect(),
+        ),
+    ];
+    format!("{{\"scenarios\":[{}]}}\n", scenarios.join(","))
+}
+
+/// Writes [`attacks_summary_json`] to `BENCH_attacks.json` in the
+/// workspace root (next to the other bench trajectories).
+pub fn write_attacks_summary() -> std::io::Result<std::path::PathBuf> {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("BENCH_attacks.json");
+    std::fs::write(&p, attacks_summary_json())?;
+    Ok(p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +499,23 @@ mod tests {
         // Refresh the committed trajectory whenever the suite runs.
         let path = write_chaos_summary().expect("write BENCH_chaos.json");
         assert!(path.ends_with("BENCH_chaos.json"));
+    }
+
+    #[test]
+    fn attacks_summary_populates_bench_trajectory() {
+        let json = attacks_summary_json();
+        // Strategic manipulation must never cost the compliant peers.
+        assert!(!json.contains("\"safe\":false"), "an attack scenario went unsafe: {json}");
+        assert!(json.contains("\"scenario\":\"aggressive-25pct\""));
+        // The control leg stays attack-free; the adversarial legs must
+        // actually exercise the engine.
+        assert!(json.contains("\"false_reports\":0,"), "clean control leg: {json}");
+        let collusion = json.split("\"collusion-ring\"").nth(1).expect("collusion leg");
+        assert!(!collusion.contains("\"false_reports\":0,"), "ring never collided: {json}");
+        assert!(!collusion.contains("\"whitewash_rejoins\":0,"), "ring never reset: {json}");
+        // Refresh the committed trajectory whenever the suite runs.
+        let path = write_attacks_summary().expect("write BENCH_attacks.json");
+        assert!(path.ends_with("BENCH_attacks.json"));
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Strategic adversaries on the executable peer runtime
+//! (`tchain-net`): §IV-C aggressive free-riders (large-view tracker
+//! hammering + whitewash identity resets) and §IV-D collusion rings
+//! filing false reports, plus the §III-A4 Sybil collision-rate
+//! regression. `--quick` / `--paper` flags or
+//! `TCHAIN_SCALE=quick|paper`; `--seed N` reruns the suite at a
+//! different master seed (the CI acceptance job uses two).
+//!
+//! Exits nonzero if any scenario violates the compliant-peer incentive
+//! guarantee, so CI can gate on it directly.
+fn main() {
+    tchain_experiments::parse_jobs_args();
+    let mut scale = tchain_experiments::Scale::from_env();
+    let mut seed = 0xA77Cu64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = tchain_experiments::Scale::Quick,
+            "--paper" => scale = tchain_experiments::Scale::Paper,
+            "--seed" => {
+                if let Some(v) = args.next() {
+                    seed = parse_seed(&v);
+                }
+            }
+            _ => {}
+        }
+    }
+    println!("[net_attacks | scale: {} | seed: {seed:#x}]", scale.name());
+    let doc = tchain_experiments::figures::net_attacks::run_with_seed(scale, seed);
+    if !doc.all_safe {
+        eprintln!("net_attacks: INCENTIVE GUARANTEE VIOLATED — see table above");
+        std::process::exit(1);
+    }
+}
+
+fn parse_seed(v: &str) -> u64 {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    match parsed {
+        Ok(s) => s,
+        Err(_) => {
+            eprintln!("net_attacks: bad --seed {v:?}, expected a u64");
+            std::process::exit(2);
+        }
+    }
+}

@@ -15,6 +15,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod loss_sweep;
+pub mod net_attacks;
 pub mod net_chaos;
 pub mod net_scale;
 pub mod net_swarm;

@@ -208,7 +208,7 @@ pub fn run(scale: Scale) -> NetSwarmDoc {
         net_point("clean", base.clone(), &mut meta),
         net_point(
             "free-rider",
-            NetSwarmConfig { free_riders: 2, ..base.clone() },
+            base.clone().with_free_riders(2),
             &mut meta,
         ),
         net_point(

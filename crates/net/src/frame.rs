@@ -84,11 +84,12 @@ impl CausalMeta {
 
 /// FNV-1a over the kind byte followed by the body bytes.
 ///
-/// Not cryptographic — a byzantine *adversary* is modelled at the protocol
-/// layer (free-riders, whitewashers), not the codec. The checksum's job is
-/// to make in-flight mutation (bit flips, truncation splices) detectable
-/// with near certainty so it can be handled as an explicit reject instead
-/// of silent state corruption.
+/// Not cryptographic — a *strategic* adversary (large-view free-riders,
+/// whitewashers, Sybil groups, collusion rings) is modelled at the
+/// protocol layer by [`crate::strategy`]'s [`crate::NetStrategy`] engine,
+/// not the codec. The checksum's job is to make in-flight mutation (bit
+/// flips, truncation splices) detectable with near certainty so it can be
+/// handled as an explicit reject instead of silent state corruption.
 pub fn frame_checksum(kind: u8, body: &[u8]) -> u32 {
     const OFFSET: u32 = 0x811c_9dc5;
     let h = fnv1a_step(OFFSET, &[kind]);

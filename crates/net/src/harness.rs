@@ -27,6 +27,10 @@ use crate::content::{fingerprint, mix64, Content};
 use crate::frame::{CausalMeta, Frame, FrameError};
 use crate::runtime::{Checkpoint, NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime};
 use crate::sched::TimerWheel;
+use crate::strategy::{
+    strategy_label, AttackerState, ColluderRegistry, NetStrategy, Strategy, RECHOKE_PERIOD,
+    WHITEWASH_REJOIN_DELAY,
+};
 use crate::telemetry::{virt_ms, FlightDump, FlightRecorder, PeerTelemetry, SwarmTelemetry};
 use crate::transport::{
     ChannelMesh, ChaosRecord, Delivery, NetError, RejectCause, Transport, TransportStats,
@@ -68,8 +72,12 @@ pub enum SchedMode {
 pub struct SwarmConfig {
     /// Total peers including the single seeder (id 0).
     pub peers: u32,
-    /// How many of the highest-id leechers free-ride.
-    pub free_riders: u32,
+    /// Per-peer behavioural strategies `(peer id, strategy)` — the
+    /// shared `tchain-attacks` vocabulary, one entry per strategic
+    /// peer. Absent ids are compliant; id 0 (the seeder) must not
+    /// appear. [`SwarmConfig::with_free_riders`] reproduces the
+    /// historical "n highest ids free-ride" count layout.
+    pub strategies: Vec<(u32, Strategy)>,
     /// Pieces in the shared file.
     pub pieces: usize,
     /// Bytes per piece.
@@ -105,7 +113,7 @@ impl Default for SwarmConfig {
     fn default() -> Self {
         SwarmConfig {
             peers: 8,
-            free_riders: 0,
+            strategies: Vec::new(),
             pieces: 24,
             piece_len: 1024,
             seed: 42,
@@ -122,11 +130,39 @@ impl Default for SwarmConfig {
     }
 }
 
+impl SwarmConfig {
+    /// Historical scenario shape: the `n` highest ids are plain
+    /// §III-A2 zero-upload free-riders. Role derivation then
+    /// reproduces the count-based peer layout exactly — same ids, same
+    /// roles, same draw sequence — so seeded fingerprints from the
+    /// `free_riders: n` era keep holding.
+    #[must_use]
+    pub fn with_free_riders(mut self, n: u32) -> Self {
+        assert!(n < self.peers, "leave at least the seeder compliant");
+        self.strategies.retain(|&(id, _)| id < self.peers - n);
+        self.strategies
+            .extend((self.peers - n..self.peers).map(|id| (id, Strategy::zero_upload())));
+        self
+    }
+
+    /// Boot-time free-riders (any flavour) in the scenario.
+    pub fn free_rider_count(&self) -> u32 {
+        self.strategies.iter().filter(|(_, s)| s.is_free_rider()).count() as u32
+    }
+}
+
 #[derive(Debug)]
 struct TxnObs {
     payee: Option<u32>,
     reported: bool,
     escrowed: bool,
+    /// The report that closed this txn attested a reciprocation the
+    /// observer never saw on the wire (§IV-D collusion).
+    false_report: bool,
+    /// The forged report already unlocked a key (colluder gain is one
+    /// key per falsified txn — retransmitted releases are not extra
+    /// loot).
+    gain_booked: bool,
     chain: usize,
 }
 
@@ -148,6 +184,14 @@ pub struct Observer {
     /// it, so its §II-B4 handoff of that key (racing the report on the
     /// wire) is the legitimate — and only — release path.
     departed: std::collections::BTreeSet<u32>,
+    /// Wire identities run by a strategic operator → scenario label.
+    /// The incentive-economics ledger attributes per-frame flows
+    /// (leakage, Sybil trials, false reports) to these.
+    attackers: BTreeMap<u32, &'static str>,
+    /// Colluder/Sybil group of strategic identities.
+    groups: BTreeMap<u32, u32>,
+    /// Seeder ids, for attributing seeder-altruism leakage.
+    seeders: BTreeSet<u32>,
     chains: Vec<ChainObs>,
     /// Human-readable invariant violations (must stay empty).
     pub violations: Vec<String>,
@@ -161,6 +205,26 @@ pub struct Observer {
     pub key_releases: u64,
     /// Key releases classified as §II-B4 escrow handoffs.
     pub escrow_transfers: u64,
+    /// False reception reports detected — reports attesting a
+    /// reciprocation that never crossed the wire — once per txn.
+    pub false_reports: u64,
+    /// `(reporter, donor, requestor, piece)` per detected false report.
+    pub false_report_log: Vec<(u32, u32, u32, u32)>,
+    /// Key releases a colluder extracted via a false report. The donor
+    /// acted in good faith on a payee-signed report, so these book as
+    /// colluder gain, not invariant violations.
+    pub colluder_gain: u64,
+    /// Designated-payee uploads non-attackers donated to attackers.
+    pub altruism_leaked: u64,
+    /// Uploads (encrypted or gift) seeders donated to attackers.
+    pub seeder_leakage: u64,
+    /// §II-B3 gifts that landed on attackers.
+    pub gift_leakage: u64,
+    /// Designated-payee uploads whose requestor sat in a Sybil group —
+    /// the §III-A4 trials.
+    pub sybil_checks: u64,
+    /// Trials where the payee landed in the requestor's own group.
+    pub sybil_collisions: u64,
 }
 
 impl Observer {
@@ -202,20 +266,51 @@ impl Observer {
                     c.len += 1;
                 }
                 match payee {
-                    Some(_) => {
+                    Some(py) => {
                         self.uploads += 1;
+                        if self.attackers.contains_key(&to) && !self.attackers.contains_key(&from) {
+                            self.altruism_leaked += 1;
+                        }
+                        // §III-A4 Sybil trial: the exploit fires only
+                        // when the requestor *and* the payee land in the
+                        // same group.
+                        if let Some(g) = self.groups.get(&to) {
+                            self.sybil_checks += 1;
+                            if self.groups.get(&py) == Some(g) {
+                                self.sybil_collisions += 1;
+                                trace_event!(tracer, now, Event::SybilCollision {
+                                    donor: from,
+                                    requestor: to,
+                                    payee: py,
+                                    piece: p,
+                                });
+                            }
+                        }
                         self.txns.insert(
                             (from, to, p),
-                            TxnObs { payee, reported: false, escrowed: false, chain },
+                            TxnObs {
+                                payee,
+                                reported: false,
+                                escrowed: false,
+                                false_report: false,
+                                gain_booked: false,
+                                chain,
+                            },
                         );
                     }
                     None => {
                         // §II-B3 termination: no key, chain ends here.
                         self.gifts += 1;
+                        if self.attackers.contains_key(&to) {
+                            self.gift_leakage += 1;
+                        }
                         if let Some(c) = self.chains.get_mut(chain) {
                             c.terminated = true;
                         }
                     }
+                }
+                if self.seeders.contains(&from) && self.attackers.contains_key(&to) {
+                    self.seeder_leakage += 1;
                 }
                 trace_event!(tracer, now, Event::TxnStart {
                     txn: pack(from, to, p),
@@ -228,9 +323,35 @@ impl Observer {
             }
             Message::ReceptionReport { requestor, piece } => {
                 self.reports += 1;
+                let mut falsified = false;
                 if !self.departed.contains(&to) {
+                    // Detection soundness: a truthful report is always
+                    // preceded on the wire by the reciprocation it
+                    // attests — the payee only learns of the txn from
+                    // that delivery — so a payee-signed report with no
+                    // observed reciprocation from the requestor toward
+                    // the donor is provably false (§IV-D).
+                    let truthful = self
+                        .recips
+                        .get(&(to, piece.0))
+                        .is_some_and(|rs| rs.contains(&requestor.0));
                     if let Some(t) = self.txns.get_mut(&(to, requestor.0, piece.0)) {
                         if t.payee == Some(from) {
+                            if !truthful {
+                                falsified = true;
+                                if !t.reported {
+                                    t.false_report = true;
+                                    self.false_reports += 1;
+                                    self.false_report_log.push((from, to, requestor.0, piece.0));
+                                    trace_event!(tracer, now, Event::FalseReport {
+                                        txn: pack(to, requestor.0, piece.0),
+                                        reporter: from,
+                                        donor: to,
+                                        requestor: requestor.0,
+                                        piece: piece.0,
+                                    });
+                                }
+                            }
                             t.reported = true;
                         }
                     }
@@ -239,7 +360,7 @@ impl Observer {
                     txn: pack(to, requestor.0, piece.0),
                     from,
                     to,
-                    falsified: false,
+                    falsified,
                 });
             }
             Message::KeyRelease { piece, requestor, .. } => {
@@ -295,11 +416,21 @@ impl Observer {
     ) -> Option<bool> {
         match requestor {
             // Rule 1: the release closes a reported txn (from -> to).
-            None => self
-                .txns
-                .get(&(from, to, piece))
-                .is_some_and(|t| t.reported)
-                .then_some(false),
+            None => match self.txns.get_mut(&(from, to, piece)) {
+                Some(t) if t.reported => {
+                    // A falsely-reported txn still releases "legally":
+                    // the donor acted in good faith on a payee-signed
+                    // report. The audit books the extraction instead —
+                    // once per txn, so duplicate releases of the same
+                    // key never inflate the gain.
+                    if t.false_report && !t.gain_booked {
+                        t.gain_booked = true;
+                        self.colluder_gain += 1;
+                    }
+                    Some(false)
+                }
+                _ => None,
+            },
             // Rule 2: a departing donor hands the key of its unreported
             // txn `(from -> r, piece)` to that txn's payee `to`.
             Some(r) if r != to => {
@@ -337,6 +468,20 @@ impl Observer {
     /// longer apply to it.
     pub fn note_rejoined(&mut self, id: u32) {
         self.departed.remove(&id);
+    }
+
+    /// Registers a strategic wire identity for the audit ledger, so
+    /// leakage and Sybil counters attribute per-frame flows to it.
+    pub fn note_attacker(&mut self, id: u32, label: &'static str, group: Option<u32>) {
+        self.attackers.insert(id, label);
+        if let Some(g) = group {
+            self.groups.insert(id, g);
+        }
+    }
+
+    /// Registers a seeder id for leakage attribution.
+    pub fn note_seeder(&mut self, id: u32) {
+        self.seeders.insert(id);
     }
 
     fn new_chain(&mut self) -> usize {
@@ -666,6 +811,31 @@ pub struct SwarmReport {
     /// Peers that left voluntarily mid-run (§II-B4 handoff) from the
     /// churn schedule.
     pub churn_departs: u64,
+    /// Completion breakdown per strategy label → `(completed, total)`,
+    /// over boot leechers plus whitewash identities; the seeder and
+    /// incomplete voluntary departures are excluded.
+    pub completed_by_strategy: BTreeMap<&'static str, (u32, u32)>,
+    /// False reception reports the observer detected and attributed.
+    pub false_reports: u64,
+    /// `(reporter, donor, requestor, piece)` per detected false report.
+    pub false_report_log: Vec<(u32, u32, u32, u32)>,
+    /// Key releases colluders extracted via false reports (§IV-D gain).
+    pub colluder_gain: u64,
+    /// Designated-payee uploads leaked from non-attackers to attackers.
+    pub altruism_leaked: u64,
+    /// Uploads leaked from seeders to attackers.
+    pub seeder_leakage: u64,
+    /// §II-B3 gifts that landed on attackers.
+    pub gift_leakage: u64,
+    /// Uploads whose requestor sat in a Sybil group (§III-A4 trials).
+    pub sybil_checks: u64,
+    /// Trials where the payee landed in the requestor's group.
+    pub sybil_collisions: u64,
+    /// Whitewash identity resets completed.
+    pub whitewash_rejoins: u64,
+    /// Tracker member-list queries served — the large-view signature
+    /// (one per peer at rendezvous, plus every §IV-C re-query).
+    pub tracker_queries: u64,
     /// Every surviving peer's §II-D2 ledger matched its unreported
     /// donor-transaction count at the end of the run.
     pub ledger_ok: bool,
@@ -710,6 +880,39 @@ struct RejoinSlot {
     checkpoint: Checkpoint,
 }
 
+/// A whitewashed operator waiting out its rejoin delay before coming
+/// back under a fresh identity — loot intact, ledgers wiped.
+struct WhitewashSlot {
+    at: f64,
+    prior: u32,
+    new_id: u32,
+    operator: usize,
+    generation: u32,
+    checkpoint: Checkpoint,
+}
+
+/// Adversary-engine state, alive only when some strategy manipulates
+/// beyond zero upload. Behind an `Option` (like churn and telemetry)
+/// with its own salted RNG fork, so manipulation-free runs make zero
+/// extra draws and keep their fingerprints bit for bit.
+struct AttackState {
+    /// Strategic draws (re-query sampling, rejoin bootstraps) come from
+    /// this fork, never from the harness RNG the compliant path uses.
+    rng: SimRng,
+    colluders: ColluderRegistry,
+    /// One entry per manipulating operator, in boot-id order; survives
+    /// the identity changes a whitewasher cycles through.
+    operators: Vec<AttackerState>,
+    /// Forged §IV-D reports staged during delivery audit, flushed
+    /// through the normal send path next `handle_attacks`.
+    staged_reports: Vec<(NodeId, NodeId, Frame)>,
+    /// `(donor, requestor, piece)` txns already falsely reported —
+    /// ring mates file one forged report per transaction.
+    reported_txns: BTreeSet<(u32, u32, u32)>,
+    pending_whitewash: Vec<WhitewashSlot>,
+    whitewash_rejoins: u64,
+}
+
 /// N in-process peers over one transport.
 pub struct SwarmHarness<T: Transport> {
     transport: T,
@@ -739,10 +942,17 @@ pub struct SwarmHarness<T: Transport> {
     /// churn-free run makes zero extra RNG draws and keeps its
     /// pre-churn fingerprint.
     churn: Option<ChurnState>,
-    /// Next fresh peer id for churn joins (initial ids are 0..peers).
+    /// Next fresh peer id for churn joins and whitewash rebirths
+    /// (initial ids are 0..peers).
     next_id: u32,
     churn_joined: u64,
     churn_departed: u64,
+    /// Adversary engine; `None` when no strategy manipulates, so
+    /// attack-free runs make zero extra RNG draws.
+    attack: Option<AttackState>,
+    /// Free-riders in the boot scenario (whitewash rebirths keep the
+    /// count — an operator is one free-rider however many ids it burns).
+    boot_free_riders: u32,
     /// Voluntary departures that left *before* completing — excluded
     /// from the completion target (they can never finish).
     churn_departed_incomplete: u32,
@@ -753,7 +963,14 @@ impl<T: Transport> SwarmHarness<T> {
     /// ids, everyone registers with transport and tracker.
     pub fn new(mut transport: T, cfg: SwarmConfig) -> Result<Self, NetError> {
         assert!(cfg.peers >= 2, "a swarm needs a seeder and a leecher");
-        assert!(cfg.free_riders < cfg.peers, "leave at least the seeder compliant");
+        let mut strategy_of: BTreeMap<u32, Strategy> = BTreeMap::new();
+        for &(id, s) in &cfg.strategies {
+            assert!(id != 0, "the seeder (id 0) cannot carry a strategy");
+            assert!(id < cfg.peers, "strategy assigned to unknown peer {id}");
+            assert!(strategy_of.insert(id, s).is_none(), "duplicate strategy for peer {id}");
+        }
+        let boot_free_riders = cfg.free_rider_count();
+        assert!(boot_free_riders < cfg.peers, "leave at least the seeder compliant");
         cfg.churn.validate();
         let content = Content::new(cfg.seed ^ 0x0C04_7E47, cfg.pieces, cfg.piece_len);
         let mut peers = BTreeMap::new();
@@ -764,19 +981,53 @@ impl<T: Transport> SwarmHarness<T> {
         let mut tracker = Tracker::with_shards(Tracker::shards_for(expected_peak));
         let arm = !transport.reliable();
         for id in 0..cfg.peers {
+            let strategy = strategy_of.get(&id).copied().unwrap_or_default();
             let role = if id == 0 {
                 PeerRole::Seeder
-            } else if id >= cfg.peers - cfg.free_riders {
+            } else if strategy.is_free_rider() {
                 PeerRole::FreeRider
             } else {
                 PeerRole::Compliant
             };
-            let mut peer = PeerRuntime::new(NodeId(id), role, content, cfg.net, cfg.seed);
+            let mut peer =
+                PeerRuntime::with_strategy(NodeId(id), role, content, cfg.net, cfg.seed, strategy);
             peer.set_arm_retries(arm);
             transport.register(NodeId(id))?;
             tracker.register(NodeId(id));
             peers.insert(id, peer);
         }
+        let mut observer = Observer::default();
+        observer.note_seeder(0);
+        for (&id, s) in &strategy_of {
+            if s.is_free_rider() {
+                observer.note_attacker(id, strategy_label(s), s.collusion_group().map(|g| g.0));
+            }
+        }
+        // The adversary engine, like churn, only exists when asked for:
+        // its RNG is a salted fork so strategic draws never perturb the
+        // compliant stream.
+        let attack = cfg.strategies.iter().any(|(_, s)| s.manipulates()).then(|| {
+            let mut colluders = ColluderRegistry::new();
+            let mut operators = Vec::new();
+            for (&id, s) in &strategy_of {
+                if !s.manipulates() {
+                    continue;
+                }
+                if let Some(g) = s.collusion_group() {
+                    colluders.register(NodeId(id), g);
+                }
+                operators.push(AttackerState::new(id, *s, 0.0));
+            }
+            AttackState {
+                rng: SimRng::new(cfg.seed ^ 0xA77A_C4E4),
+                colluders,
+                operators,
+                staged_reports: Vec::new(),
+                reported_txns: BTreeSet::new(),
+                pending_whitewash: Vec::new(),
+                whitewash_rejoins: 0,
+            }
+        });
         let tracer = if cfg.trace_capacity > 0 {
             Tracer::with_capacity(cfg.trace_capacity)
         } else {
@@ -800,7 +1051,7 @@ impl<T: Transport> SwarmHarness<T> {
             content,
             peers,
             tracker,
-            observer: Observer::default(),
+            observer,
             tracer,
             rng,
             fingerprint: 0x5EED_F00D,
@@ -817,6 +1068,8 @@ impl<T: Transport> SwarmHarness<T> {
             next_id,
             churn_joined: 0,
             churn_departed: 0,
+            attack,
+            boot_free_riders,
             churn_departed_incomplete: 0,
         })
     }
@@ -872,13 +1125,21 @@ impl<T: Transport> SwarmHarness<T> {
                 }
                 for d in &batch {
                     let violations_before = self.observer.violations.len();
+                    let false_before = self.observer.false_reports;
                     self.observer.observe(d, &mut self.tracer, now);
                     if let Some(tel) = self.telemetry.as_mut() {
                         tel.on_delivery(d, now);
                         if self.observer.violations.len() > violations_before {
                             tel.flight("violation", now);
                         }
+                        // A detected false report trips the recorder:
+                        // the capture shows the collusion's causal
+                        // context (upload, forged report, key release).
+                        if self.observer.false_reports > false_before {
+                            tel.flight("collusion", now);
+                        }
                     }
+                    self.stage_collusion(d);
                     self.fold(d);
                 }
                 if let Some(peer) = self.peers.get_mut(&to.0) {
@@ -952,6 +1213,7 @@ impl<T: Transport> SwarmHarness<T> {
             self.handle_chaos_records(now);
             self.handle_rejoins(now)?;
             self.handle_crashes(now);
+            self.handle_attacks(now)?;
             if self.compliant_done() {
                 // A few grace ticks drain in-flight frames so trailing
                 // key releases still pass under the observer's eye.
@@ -970,7 +1232,7 @@ impl<T: Transport> SwarmHarness<T> {
         // its crash outage at the deadline must count as incomplete.
         // Churn joins raise the target; a voluntary departure that left
         // before completing can never finish and leaves it.
-        let total_compliant = self.cfg.peers - 1 - self.cfg.free_riders
+        let total_compliant = self.cfg.peers - 1 - self.boot_free_riders
             + self.churn_joined as u32
             - self.churn_departed_incomplete;
         let mut completed_free_riders = 0;
@@ -991,6 +1253,30 @@ impl<T: Transport> SwarmHarness<T> {
                     }
                 }
                 PeerRole::Seeder => {}
+            }
+        }
+        // Per-strategy completion ledger: live (or completed-departed)
+        // leechers under their current strategy, plus any operator
+        // caught mid-whitewash at the deadline.
+        let mut completed_by_strategy: BTreeMap<&'static str, (u32, u32)> = BTreeMap::new();
+        for p in self.peers.values() {
+            if p.role() == PeerRole::Seeder || (p.departed() && !p.is_complete()) {
+                continue;
+            }
+            let e = completed_by_strategy.entry(strategy_label(&p.strategy())).or_insert((0, 0));
+            e.1 += 1;
+            if p.is_complete() {
+                e.0 += 1;
+            }
+        }
+        if let Some(attack) = &self.attack {
+            for slot in &attack.pending_whitewash {
+                let s = attack.operators[slot.operator].strategy;
+                let e = completed_by_strategy.entry(strategy_label(&s)).or_insert((0, 0));
+                e.1 += 1;
+                if slot.checkpoint.held_pieces() == self.cfg.pieces {
+                    e.0 += 1;
+                }
             }
         }
         let (telemetry, peer_rings, flight_dumps) = match self.telemetry.take() {
@@ -1016,7 +1302,7 @@ impl<T: Transport> SwarmHarness<T> {
         Ok(SwarmReport {
             backend: self.transport.backend(),
             peers: self.cfg.peers,
-            free_riders: self.cfg.free_riders,
+            free_riders: self.boot_free_riders,
             pieces: self.cfg.pieces,
             ticks,
             elapsed: self.transport.now(),
@@ -1041,6 +1327,17 @@ impl<T: Transport> SwarmHarness<T> {
             rejoins: self.rejoins,
             churn_joins: self.churn_joined,
             churn_departs: self.churn_departed,
+            completed_by_strategy,
+            false_reports: self.observer.false_reports,
+            false_report_log: std::mem::take(&mut self.observer.false_report_log),
+            colluder_gain: self.observer.colluder_gain,
+            altruism_leaked: self.observer.altruism_leaked,
+            seeder_leakage: self.observer.seeder_leakage,
+            gift_leakage: self.observer.gift_leakage,
+            sybil_checks: self.observer.sybil_checks,
+            sybil_collisions: self.observer.sybil_collisions,
+            whitewash_rejoins: self.attack.as_ref().map_or(0, |a| a.whitewash_rejoins),
+            tracker_queries: self.tracker.queries(),
             ledger_ok: self
                 .peers
                 .values()
@@ -1327,6 +1624,182 @@ impl<T: Transport> SwarmHarness<T> {
         Ok(())
     }
 
+    /// Audits a delivered frame for the §IV-D collusion hook: when an
+    /// encrypted upload lands on a ring member whose designated payee
+    /// is a ring mate, the mate will forge a reception report on the
+    /// requestor's behalf — the donor then releases the key (and
+    /// clears a §II-D2 ledger slot) for a reciprocation that never
+    /// happened. One forged report per transaction.
+    fn stage_collusion(&mut self, d: &Delivery) {
+        let Some(attack) = self.attack.as_mut() else { return };
+        if attack.colluders.is_empty() {
+            return;
+        }
+        let Frame::Control(Message::PieceUpload { piece, payee: Some(py), .. }) = &d.frame else {
+            return;
+        };
+        let (donor, requestor) = (d.from, d.to);
+        if !attack.colluders.same_group(requestor, *py) {
+            return;
+        }
+        if !attack.reported_txns.insert((donor.0, requestor.0, piece.0)) {
+            return;
+        }
+        attack.staged_reports.push((
+            *py,
+            donor,
+            Frame::Control(Message::ReceptionReport { requestor, piece: *piece }),
+        ));
+    }
+
+    /// Runs every strategic operator's turn: flush forged collusion
+    /// reports, fire §IV-C large-view tracker re-queries, trigger and
+    /// settle whitewash identity resets. A no-op — zero draws, zero
+    /// branches on peer state — when no strategy manipulates.
+    fn handle_attacks(&mut self, now: f64) -> Result<(), NetError> {
+        let Some(mut attack) = self.attack.take() else { return Ok(()) };
+        let staged = std::mem::take(&mut attack.staged_reports);
+        self.flush(staged)?;
+        for op in 0..attack.operators.len() {
+            let Some(id) = attack.operators[op].live_id else { continue };
+            let Some(peer) = self.peers.get(&id) else { continue };
+            attack.operators[op].note_progress(peer.have_count(), now);
+            if attack.operators[op].should_whitewash(now) {
+                self.whitewash(&mut attack, op, id, now);
+                continue;
+            }
+            if attack.operators[op].strategy.large_view()
+                && now >= attack.operators[op].next_requery
+            {
+                // §IV-C: re-query the tracker every rechoke period —
+                // "much more frequently than in normal BitTorrent
+                // operations" — and greet every returned member. The
+                // accept-all half is the runtime's default connection
+                // policy, so the engine only drives the schedule.
+                attack.operators[op].next_requery = now + RECHOKE_PERIOD;
+                let members = self.tracker.random_members(
+                    NodeId(id),
+                    NeighborPolicy::default().list_size,
+                    &mut attack.rng,
+                );
+                let peer = self.peers.get_mut(&id).expect("live");
+                let mut out: Outbox = Vec::new();
+                peer.bootstrap(&members, &mut out);
+                let staged: Vec<(NodeId, NodeId, Frame)> =
+                    out.into_iter().map(|(to, f)| (NodeId(id), to, f)).collect();
+                self.flush(staged)?;
+            }
+        }
+        self.handle_whitewash_rejoins(&mut attack, now)?;
+        self.attack = Some(attack);
+        Ok(())
+    }
+
+    /// §IV-C whitewash: tear the identity out with no §II-B4 goodbye
+    /// (crash-style teardown), keep the loot via checkpoint, and queue
+    /// a rejoin under a fresh id. Neighbors see a vanished peer; the
+    /// returnee is "treated as another newcomer".
+    fn whitewash(&mut self, attack: &mut AttackState, op: usize, id: u32, now: f64) {
+        let Some(peer) = self.peers.remove(&id) else { return };
+        let new_id = self.next_id;
+        self.next_id += 1;
+        // Same byte round-trip as the crash path; `with_id` wipes the
+        // neighbor-facing ledgers that belonged to the dead identity.
+        let bytes = peer.checkpoint().with_id(new_id).to_bytes();
+        let checkpoint = Checkpoint::from_bytes(&bytes).expect("own encoding");
+        self.transport.disconnect(NodeId(id));
+        self.tracker.unregister(NodeId(id));
+        self.observer.note_departed(id);
+        self.wheel.cancel(id);
+        attack.colluders.unregister(NodeId(id));
+        attack.operators[op].live_id = None;
+        trace_event!(self.tracer, now, Event::PeerDepart { peer: id });
+        for (&pid, other) in self.peers.iter_mut() {
+            if !other.departed() {
+                other.on_peer_gone(NodeId(id));
+                self.wheel.hasten(pid, now);
+            }
+        }
+        let generation = checkpoint.generation() + 1;
+        attack.pending_whitewash.push(WhitewashSlot {
+            at: now + WHITEWASH_REJOIN_DELAY,
+            prior: id,
+            new_id,
+            operator: op,
+            generation,
+            checkpoint,
+        });
+    }
+
+    /// Settles due whitewash rejoins: restore from the re-identified
+    /// checkpoint, register the fresh id (`register`, not `reconnect`
+    /// — the transport has never seen it), re-adopt the operator's
+    /// strategy and bootstrap as a newcomer.
+    fn handle_whitewash_rejoins(
+        &mut self,
+        attack: &mut AttackState,
+        now: f64,
+    ) -> Result<(), NetError> {
+        if attack.pending_whitewash.is_empty() {
+            return Ok(());
+        }
+        let mut due: Vec<WhitewashSlot> = Vec::new();
+        let mut later: Vec<WhitewashSlot> = Vec::new();
+        for slot in attack.pending_whitewash.drain(..) {
+            if slot.at <= now {
+                due.push(slot);
+            } else {
+                later.push(slot);
+            }
+        }
+        attack.pending_whitewash = later;
+        due.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.new_id.cmp(&b.new_id)));
+        let arm = !self.transport.reliable();
+        for slot in due {
+            let mut peer = PeerRuntime::restore(
+                &slot.checkpoint,
+                self.content,
+                self.cfg.net,
+                self.cfg.seed,
+                slot.generation,
+            )
+            .expect("checkpoint was taken from this swarm's content");
+            let strategy = attack.operators[slot.operator].strategy;
+            peer.adopt_strategy(strategy);
+            peer.set_arm_retries(arm);
+            self.transport.register(NodeId(slot.new_id))?;
+            self.tracker.register(NodeId(slot.new_id));
+            if let Some(g) = strategy.collusion_group() {
+                attack.colluders.register(NodeId(slot.new_id), g);
+            }
+            self.observer.note_attacker(
+                slot.new_id,
+                strategy_label(&strategy),
+                strategy.collusion_group().map(|g| g.0),
+            );
+            attack.operators[slot.operator].rebirth(slot.new_id, peer.have_count(), now);
+            attack.whitewash_rejoins += 1;
+            trace_event!(self.tracer, now, Event::WhitewashRejoin {
+                peer: slot.new_id,
+                prior: slot.prior,
+                generation: slot.generation,
+            });
+            let members = self.tracker.random_members(
+                NodeId(slot.new_id),
+                NeighborPolicy::default().list_size,
+                &mut attack.rng,
+            );
+            let mut out: Outbox = Vec::new();
+            peer.bootstrap(&members, &mut out);
+            let staged: Vec<(NodeId, NodeId, Frame)> =
+                out.into_iter().map(|(to, f)| (NodeId(slot.new_id), to, f)).collect();
+            self.peers.insert(slot.new_id, peer);
+            self.wheel.schedule(slot.new_id, now);
+            self.flush(staged)?;
+        }
+        Ok(())
+    }
+
     fn compliant_done(&self) -> bool {
         self.pending_rejoin.is_empty()
             && self.churn.as_ref().is_none_or(ChurnState::done)
@@ -1374,6 +1847,7 @@ pub fn run_swarm(cfg: SwarmConfig) -> Result<SwarmReport, NetError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::{FreeRiderConfig, GroupId};
 
     #[test]
     fn small_swarm_completes_cleanly() {
@@ -1387,13 +1861,154 @@ mod tests {
 
     #[test]
     fn free_rider_is_starved() {
-        let cfg = SwarmConfig { free_riders: 1, ..SwarmConfig::default() };
+        let cfg = SwarmConfig::default().with_free_riders(1);
         let report = run_swarm(cfg).expect("run");
         assert!(report.ok(), "violations: {:?}", report.violations);
         assert_eq!(
             report.completed_free_riders, 0,
             "free rider should not finish while compliant peers are active"
         );
+        let (done, total) = report.completed_by_strategy["free_rider"];
+        assert_eq!((done, total), (0, 1));
+        let (cdone, ctotal) = report.completed_by_strategy["compliant"];
+        assert_eq!(cdone, ctotal);
+    }
+
+    #[test]
+    fn explicit_strategies_match_the_count_builder() {
+        // `with_free_riders(n)` is defined as sugar for zero-upload
+        // entries on the n highest ids — the two spellings must be the
+        // same run, frame for frame.
+        let by_count = SwarmConfig::default().with_free_riders(2);
+        let by_hand = SwarmConfig {
+            strategies: vec![(6, Strategy::zero_upload()), (7, Strategy::zero_upload())],
+            ..SwarmConfig::default()
+        };
+        let a = run_swarm(by_count).expect("a");
+        let b = run_swarm(by_hand).expect("b");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.free_riders, 2);
+        assert_eq!(a.completion_times, b.completion_times);
+    }
+
+    #[test]
+    fn plain_free_riders_build_no_attack_state() {
+        // Zero-upload free-riders manipulate nothing: no engine, no
+        // extra tracker traffic, no identity churn.
+        let report = run_swarm(SwarmConfig::default().with_free_riders(2)).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.tracker_queries, u64::from(report.peers), "rendezvous only");
+        assert_eq!(report.whitewash_rejoins, 0);
+        assert_eq!(report.false_reports, 0);
+        assert_eq!(report.sybil_checks, 0);
+    }
+
+    #[test]
+    fn large_view_requeries_hammer_the_tracker_and_still_starve() {
+        let cfg = SwarmConfig {
+            strategies: vec![
+                (6, Strategy::FreeRider(FreeRiderConfig { large_view: true, ..Default::default() })),
+                (7, Strategy::FreeRider(FreeRiderConfig { large_view: true, ..Default::default() })),
+            ],
+            ..SwarmConfig::default()
+        };
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.completed_free_riders, 0, "large view must not beat T-Chain");
+        assert!(
+            report.tracker_queries > u64::from(report.peers) + 4,
+            "re-queries every rechoke period must show up in the tracker load, got {}",
+            report.tracker_queries
+        );
+        let (_, total) = report.completed_by_strategy["aggressive"];
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn aggressive_runs_stay_deterministic() {
+        let cfg = SwarmConfig {
+            strategies: vec![
+                (5, Strategy::aggressive_free_rider()),
+                (6, Strategy::colluding_free_rider(GroupId(0))),
+                (7, Strategy::colluding_free_rider(GroupId(0))),
+            ],
+            max_ticks: 2000,
+            ..SwarmConfig::default()
+        };
+        let a = run_swarm(cfg.clone()).expect("a");
+        let b = run_swarm(cfg).expect("b");
+        assert_eq!(a.fingerprint, b.fingerprint, "attack runs must stay deterministic");
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.false_reports, b.false_reports);
+        assert_eq!(a.whitewash_rejoins, b.whitewash_rejoins);
+        assert_eq!(a.completion_times, b.completion_times);
+    }
+
+    #[test]
+    fn collusion_ring_is_detected_and_attributed() {
+        let mut cfg = SwarmConfig {
+            peers: 10,
+            telemetry: true,
+            max_ticks: 8000,
+            ..SwarmConfig::default()
+        };
+        cfg.strategies = vec![
+            (7, Strategy::colluding_free_rider(GroupId(0))),
+            (8, Strategy::colluding_free_rider(GroupId(0))),
+            (9, Strategy::colluding_free_rider(GroupId(0))),
+        ];
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.violations.is_empty(), "good-faith releases are not violations: {:?}",
+            report.violations);
+        assert!(report.false_reports > 0, "a 3-ring among 10 peers must collide");
+        assert_eq!(
+            report.false_report_log.len() as u64,
+            report.false_reports,
+            "every false report is attributed"
+        );
+        // Ring identities are the boot colluders (7..10) plus any
+        // rebirth ids their whitewash cycles mint (10..). Compliant
+        // peers and the seeder keep ids 0..7.
+        for &(reporter, donor, requestor, _) in &report.false_report_log {
+            assert!(reporter >= 7, "reporter {reporter} must be in the ring");
+            assert!(requestor >= 7, "requestor {requestor} must be in the ring");
+            assert!(donor < 7, "donor {donor} is the deceived outsider");
+        }
+        assert!(report.colluder_gain > 0, "false reports must unlock keys");
+        assert!(
+            report.colluder_gain <= report.false_reports,
+            "one release per forged report at most (reliable mesh)"
+        );
+        assert!(report.sybil_checks >= report.false_reports);
+        assert_eq!(report.completed_compliant, report.total_compliant, "compliant unaffected");
+        assert!(
+            report.flight_dumps.iter().any(|d| d.reason == "collusion"),
+            "first detection must trip the flight recorder"
+        );
+    }
+
+    #[test]
+    fn whitewash_rejoins_keep_ledgers_and_compliant_completion() {
+        let mut cfg = SwarmConfig {
+            peers: 10,
+            pieces: 48,
+            max_ticks: 8000,
+            // A late churn join keeps the swarm alive long enough for
+            // the whitewash patience clock to run out.
+            churn: ChurnPlan::none().with_joins(60.0, 2, 20.0),
+            ..SwarmConfig::default()
+        };
+        cfg.strategies =
+            vec![(8, Strategy::aggressive_free_rider()), (9, Strategy::aggressive_free_rider())];
+        let report = run_swarm(cfg).expect("run");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(report.whitewash_rejoins > 0, "patience must run out at least once");
+        assert!(report.ledger_ok, "identity resets must not corrupt the k-pending ledger");
+        assert_eq!(report.completed_compliant, report.total_compliant);
+        let (done, total) = report.completed_by_strategy["aggressive"];
+        assert_eq!(total, 2, "operators counted once across identities");
+        assert_eq!(done, 0, "whitewashing must not beat T-Chain");
     }
 
     #[test]
@@ -1648,3 +2263,4 @@ mod tests {
         assert_eq!(report.crashes, 0);
     }
 }
+

@@ -35,6 +35,7 @@ mod frame;
 mod harness;
 mod runtime;
 pub mod sched;
+pub mod strategy;
 mod tcp;
 pub mod telemetry;
 mod transport;
@@ -46,6 +47,10 @@ pub use frame::{
 };
 pub use harness::{run_swarm, Observer, SchedMode, SwarmConfig, SwarmHarness, SwarmReport};
 pub use sched::TimerWheel;
+pub use strategy::{
+    strategy_label, AttackerState, ColluderRegistry, FreeRiderConfig, GroupId, NetStrategy,
+    Strategy, RECHOKE_PERIOD, WHITEWASH_PATIENCE, WHITEWASH_REJOIN_DELAY,
+};
 pub use telemetry::{FlightDump, FlightRecorder, PeerTelemetry, SwarmTelemetry};
 pub use runtime::{
     Checkpoint, CheckpointError, NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime,

@@ -28,6 +28,7 @@
 
 use crate::content::{fingerprint, Content};
 use crate::frame::Frame;
+use crate::strategy::{NetStrategy, Strategy};
 use std::collections::BTreeMap;
 use tchain_crypto::{KeyId, Keyring, PieceKey};
 use tchain_proto::wire::{Message, KEY_WIRE_SIZE};
@@ -205,6 +206,12 @@ pub struct PeerCounters {
 pub struct PeerRuntime {
     id: NodeId,
     role: PeerRole,
+    /// Behavioural strategy, consulted (via [`crate::NetStrategy`]) at
+    /// every protocol fork. Derived from `role` by [`PeerRuntime::new`]
+    /// for back-compat; [`PeerRuntime::with_strategy`] sets it freely.
+    /// Not checkpointed — an operator's brain survives its identities,
+    /// so the harness re-adopts it after every restore.
+    strategy: Strategy,
     cfg: NetConfig,
     content: Content,
     arm_retries: bool,
@@ -254,6 +261,26 @@ impl PeerRuntime {
     /// Builds a peer. Seeders start with the full file; everyone else
     /// starts empty.
     pub fn new(id: NodeId, role: PeerRole, content: Content, cfg: NetConfig, seed: u64) -> Self {
+        let strategy = match role {
+            PeerRole::FreeRider => Strategy::zero_upload(),
+            _ => Strategy::Compliant,
+        };
+        Self::with_strategy(id, role, content, cfg, seed, strategy)
+    }
+
+    /// Builds a peer with an explicit behavioural [`Strategy`]. The
+    /// role still decides starting holdings (seeders begin full) and
+    /// donor scheduling class; the strategy decides everything the
+    /// adversary engine forks on. `new` is `with_strategy` with the
+    /// strategy derived from the role.
+    pub fn with_strategy(
+        id: NodeId,
+        role: PeerRole,
+        content: Content,
+        cfg: NetConfig,
+        seed: u64,
+        strategy: Strategy,
+    ) -> Self {
         let pieces = content.pieces;
         let (have, plain) = if role == PeerRole::Seeder {
             let mut plain = Vec::with_capacity(pieces);
@@ -267,6 +294,7 @@ impl PeerRuntime {
         PeerRuntime {
             id,
             role,
+            strategy,
             cfg,
             content,
             arm_retries: false,
@@ -308,6 +336,19 @@ impl PeerRuntime {
     /// The peer's role.
     pub fn role(&self) -> PeerRole {
         self.role
+    }
+
+    /// The peer's behavioural strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Re-adopts a strategy after a restore: checkpoints carry the
+    /// wire-visible state only, and the operator driving an identity is
+    /// not wire-visible — the harness re-injects it on rejoin (both the
+    /// crash-restart and the whitewash path).
+    pub fn adopt_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
     }
 
     /// `true` when every piece is held.
@@ -526,7 +567,7 @@ impl PeerRuntime {
                 }
             }
             Some(p) => {
-                if self.role != PeerRole::FreeRider && !self.have.has(piece) {
+                if self.strategy.serve_uploads() && !self.have.has(piece) {
                     self.obligations.push(Obligation {
                         donor: from.0,
                         piece: piece.0,
@@ -534,7 +575,7 @@ impl PeerRuntime {
                         since: now,
                         asked_neighbor: false,
                     });
-                } else if self.role != PeerRole::FreeRider {
+                } else if self.strategy.serve_uploads() {
                     // Already hold the piece via another chain: still owe
                     // the reciprocation (the donor is waiting).
                     self.obligations.push(Obligation {
@@ -552,7 +593,7 @@ impl PeerRuntime {
 
     /// Donor side of §II-B2 steps 3–4: a report unlocks the key release.
     fn handle_report(&mut self, _now: f64, reporter: u32, requestor: u32, piece: u32, out: &mut Outbox) {
-        if self.role == PeerRole::FreeRider {
+        if !self.strategy.serve_uploads() {
             return;
         }
         let Some(txn) = self.donor_txns.get_mut(&(requestor, piece)) else {
@@ -715,7 +756,7 @@ impl PeerRuntime {
     /// designated requestor has reciprocated; keys for requestors still
     /// owing stay held.
     fn try_escrow_forward(&mut self, donor: u32, piece: u32, out: &mut Outbox) {
-        if self.role == PeerRole::FreeRider {
+        if !self.strategy.serve_uploads() {
             return;
         }
         let Some(seen) = self.recips_seen.get(&(donor, piece)) else {
@@ -752,7 +793,7 @@ impl PeerRuntime {
         }
         self.have.set(PieceId(piece));
         self.plain[piece as usize] = Some(bytes);
-        if self.role != PeerRole::FreeRider {
+        if self.strategy.serve_uploads() {
             let targets: Vec<u32> = self.neighbors.keys().copied().collect();
             for t in targets {
                 out.push((NodeId(t), Frame::Control(Message::Have { piece: PieceId(piece) })));
@@ -776,7 +817,7 @@ impl PeerRuntime {
         // Expired quarantines lift here, so within one tick the map
         // holds exactly the active exclusions.
         self.quarantined.retain(|_, &mut until| until > now);
-        if self.role != PeerRole::FreeRider {
+        if self.strategy.serve_uploads() {
             self.process_obligations(now, out);
             self.fire_retries(now, out);
         }
@@ -1271,7 +1312,10 @@ impl PeerRuntime {
     /// transactions, obligations and retry timers. A crash loses them on
     /// a real machine too; the swarm recovers through the existing stall
     /// sweep and re-donation machinery, which is exactly the recovery
-    /// path the chaos harness asserts on.
+    /// path the chaos harness asserts on. The ledger snapshot is kept
+    /// for post-mortems but [`PeerRuntime::restore`] does not reapply
+    /// it — its counts track the donor transactions that died with the
+    /// process.
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
             id: self.id.0,
@@ -1343,6 +1387,10 @@ impl PeerRuntime {
         Ok(PeerRuntime {
             id: NodeId(cp.id),
             role: cp.role,
+            strategy: match cp.role {
+                PeerRole::FreeRider => Strategy::zero_upload(),
+                _ => Strategy::Compliant,
+            },
             cfg,
             content,
             arm_retries: false,
@@ -1353,7 +1401,14 @@ impl PeerRuntime {
             neighbors: BTreeMap::new(),
             donor_txns: BTreeMap::new(),
             active_donations: 0,
-            ledger: cp.ledger.iter().copied().collect(),
+            // The §II-D2 ledger counts *unreported donor transactions*,
+            // and those died with the crashed process — restoring the
+            // checkpointed counts would leave entries nothing can ever
+            // decrement (reports for unknown txns are dropped as stale,
+            // and the stall sweep only touches live txns). The ledger
+            // restarts at zero with the transactions it tracks; the
+            // checkpoint still carries the counts for post-mortems.
+            ledger: BTreeMap::new(),
             pending_in: BTreeMap::new(),
             obligations: Vec::new(),
             retries: Vec::new(),
@@ -1487,6 +1542,24 @@ impl Checkpoint {
     /// The incarnation this snapshot was taken from.
     pub fn generation(&self) -> u32 {
         self.generation
+    }
+
+    /// The same snapshot re-keyed to a different wire identity — the
+    /// whitewash move (§IV-C): the operator keeps every piece it
+    /// extracted but presents them under a brand-new id, so deceived
+    /// neighbors treat it as another newcomer. Neighbor-facing ledger
+    /// state is dropped along with the old identity (those relations
+    /// belong to the dead id; carrying them would leak the linkage the
+    /// whitewasher is laundering away).
+    pub fn with_id(&self, id: u32) -> Checkpoint {
+        Checkpoint {
+            id,
+            ledger: Vec::new(),
+            escrow: Vec::new(),
+            recips_seen: Vec::new(),
+            gifted: Vec::new(),
+            ..self.clone()
+        }
     }
 
     /// Number of pieces held at crash time.

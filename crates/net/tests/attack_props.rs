@@ -1,0 +1,179 @@
+//! Property-based tests for the adversary engine: whitewash identity
+//! resets — an attacker discarding its wire identity, keeping its loot
+//! and rejoining as a "newcomer" — must never corrupt the §II-D2
+//! k-pending ledger or the §II-B4 escrow bookkeeping, no matter what
+//! churn schedule or byzantine chaos plan they compose with.
+//!
+//! Each case boots a real encrypted swarm, so the suites run few cases
+//! with tight piece counts; the point is the *randomised composition*
+//! of whitewash timing against joins, departures, frame corruption and
+//! crash-restart — not case volume.
+
+use proptest::prelude::*;
+use tchain_net::{run_swarm, FreeRiderConfig, GroupId, Strategy, SwarmConfig};
+use tchain_sim::{ChaosPlan, ChurnPlan};
+
+/// A 10-peer swarm whose two highest leecher ids run the given
+/// free-rider flavour.
+fn adversarial(seed: u64, flavour: Strategy) -> SwarmConfig {
+    SwarmConfig {
+        peers: 10,
+        pieces: 12,
+        piece_len: 256,
+        seed,
+        strategies: vec![(8, flavour), (9, flavour)],
+        max_ticks: 900,
+        ..SwarmConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whitewash resets composed with an arbitrary join/departure
+    /// schedule: every surviving peer's §II-D2 ledger stays consistent
+    /// with its unreported donor transactions, no key is ever released
+    /// unreciprocated, every compliant leecher completes, and the
+    /// whitewashers stay starved across all of their identities.
+    #[test]
+    fn whitewash_never_corrupts_ledger_under_churn(
+        seed in 1u64..1 << 40,
+        join_at in 4u8..20,
+        joins in 1u32..4,
+        spacing in 1u8..4,
+        depart_at in 30u8..60,
+        fraction in 0.05f64..0.35,
+    ) {
+        let cfg = SwarmConfig {
+            churn: ChurnPlan::none()
+                .with_joins(f64::from(join_at), joins, f64::from(spacing))
+                .with_departures(f64::from(depart_at), fraction),
+            ..adversarial(seed, Strategy::aggressive_free_rider())
+        };
+        let report = run_swarm(cfg).expect("mesh transport");
+        prop_assert!(report.ledger_ok, "ledger drifted from unreported donor txns");
+        prop_assert!(
+            report.violations.is_empty(),
+            "unreciprocated key release under whitewash x churn: {:?}",
+            report.violations
+        );
+        prop_assert!(report.plaintext_ok);
+        prop_assert_eq!(report.completed_compliant, report.total_compliant);
+        // Whitewashers can still harvest §II-B3 termination gifts as
+        // serial "newcomers" — the one legal plaintext channel open to
+        // them — so completion is possible but must be *paid for*: the
+        // audit ledger has to account for every plaintext piece any
+        // attacker identity ever held.
+        prop_assert!(
+            u64::from(report.completed_free_riders) * report.pieces as u64
+                <= report.gift_leakage + report.colluder_gain,
+            "{} free-rider completion(s) not covered by {} gifts + {} colluder gain",
+            report.completed_free_riders,
+            report.gift_leakage,
+            report.colluder_gain
+        );
+        prop_assert_eq!(report.churn_joins, u64::from(joins));
+    }
+
+    /// Whitewash resets composed with byzantine frame chaos and a
+    /// crash-restart wave: corrupted frames, quarantines, checkpoint
+    /// rejoins and whitewash rebirths all reuse pieces of the same
+    /// identity plumbing, and none of the combinations may leak a key
+    /// or corrupt a ledger.
+    #[test]
+    fn whitewash_survives_chaos_and_crash_restart(
+        seed in 1u64..1 << 40,
+        rate in 0.001f64..0.02,
+        crash_at in 10u8..40,
+        crash_fraction in 0.1f64..0.3,
+        restart_after in 2u8..8,
+    ) {
+        let cfg = SwarmConfig {
+            chaos: ChaosPlan::byzantine(seed ^ 0xC4A05, rate).with_crash_restart(
+                f64::from(crash_at),
+                crash_fraction,
+                f64::from(restart_after),
+            ),
+            ..adversarial(seed, Strategy::aggressive_free_rider())
+        };
+        let report = run_swarm(cfg).expect("mesh transport");
+        prop_assert!(report.ledger_ok, "ledger drifted under whitewash x chaos");
+        prop_assert!(
+            report.violations.is_empty(),
+            "unreciprocated key release under whitewash x chaos: {:?}",
+            report.violations
+        );
+        prop_assert!(report.plaintext_ok);
+        prop_assert_eq!(report.completed_compliant, report.total_compliant);
+        prop_assert!(
+            u64::from(report.completed_free_riders) * report.pieces as u64
+                <= report.gift_leakage + report.colluder_gain,
+            "attacker completions outran the audited gift/forgery channels"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same-seed determinism holds with the full adversary engine armed:
+    /// colluding whitewashers (large-view + identity resets + false
+    /// reports) replayed under one seed reproduce the frame stream, the
+    /// audit counters and every completion time bit for bit.
+    #[test]
+    fn armed_adversaries_stay_bit_identical(
+        seed in 1u64..1 << 40,
+        ring in 2u32..4,
+    ) {
+        let cfg = |seed| SwarmConfig {
+            strategies: (10 - ring..10)
+                .map(|id| (id, Strategy::colluding_free_rider(GroupId(0))))
+                .collect(),
+            ..adversarial(seed, Strategy::zero_upload())
+        };
+        let a = run_swarm(cfg(seed)).expect("run a");
+        let b = run_swarm(cfg(seed)).expect("run b");
+        prop_assert_eq!(a.fingerprint, b.fingerprint, "frame-stream digest diverged");
+        prop_assert_eq!(a.ticks, b.ticks);
+        prop_assert_eq!(a.false_reports, b.false_reports);
+        prop_assert_eq!(a.colluder_gain, b.colluder_gain);
+        prop_assert_eq!(a.whitewash_rejoins, b.whitewash_rejoins);
+        prop_assert_eq!(a.completion_times, b.completion_times);
+        prop_assert!(a.violations.is_empty(), "violations: {:?}", a.violations);
+        prop_assert!(a.ledger_ok);
+    }
+
+    /// A collude-only Sybil ring under churn: every §IV-D false report
+    /// is detected and attributed to ring members, and the colluders'
+    /// key gain never exceeds one release per forged report.
+    #[test]
+    fn sybil_rings_stay_fully_attributed_under_churn(
+        seed in 1u64..1 << 40,
+        join_at in 4u8..16,
+        joins in 1u32..3,
+    ) {
+        let collude_only = Strategy::FreeRider(FreeRiderConfig {
+            collude: Some(GroupId(0)),
+            ..FreeRiderConfig::default()
+        });
+        let cfg = SwarmConfig {
+            strategies: vec![(7, collude_only), (8, collude_only), (9, collude_only)],
+            churn: ChurnPlan::none().with_joins(f64::from(join_at), joins, 2.0),
+            ..adversarial(seed, Strategy::zero_upload())
+        };
+        let report = run_swarm(cfg).expect("mesh transport");
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+        prop_assert!(report.ledger_ok);
+        prop_assert_eq!(
+            report.false_report_log.len() as u64,
+            report.false_reports,
+            "every detected false report carries an attribution"
+        );
+        for &(reporter, donor, requestor, _) in &report.false_report_log {
+            prop_assert!((7..10).contains(&reporter), "reporter {} outside the ring", reporter);
+            prop_assert!((7..10).contains(&requestor), "requestor {} outside the ring", requestor);
+            prop_assert!(!(7..10).contains(&donor), "donor {} inside the ring", donor);
+        }
+        prop_assert!(report.colluder_gain <= report.false_reports, "gain outran the forgeries");
+    }
+}

@@ -353,6 +353,42 @@ pub enum Event {
         /// The counter value.
         value: u64,
     },
+    /// A designated-payee upload landed with its requestor and payee in
+    /// the same Sybil/colluder group — the §III-A4 exploit precondition.
+    SybilCollision {
+        /// The (deceived) donor.
+        donor: u32,
+        /// The requestor identity.
+        requestor: u32,
+        /// The designated payee identity (same operator/ring).
+        payee: u32,
+        /// The piece in flight.
+        piece: u32,
+    },
+    /// A reception report not preceded by the reciprocation upload it
+    /// attests — a §IV-D collusive false report.
+    FalseReport {
+        /// Packed transaction id.
+        txn: u64,
+        /// The ring mate that filed the report (the designated payee).
+        reporter: u32,
+        /// The deceived donor the report was sent to.
+        donor: u32,
+        /// The requestor the report vouches for.
+        requestor: u32,
+        /// The piece whose reception was falsely attested.
+        piece: u32,
+    },
+    /// A whitewashing operator rejoined under a fresh identity,
+    /// carrying its pieces but presenting as a newcomer (§IV-C).
+    WhitewashRejoin {
+        /// The fresh identity.
+        peer: u32,
+        /// The discarded identity.
+        prior: u32,
+        /// Restart generation of the fresh incarnation.
+        generation: u32,
+    },
 }
 
 impl Event {
@@ -385,6 +421,9 @@ impl Event {
             Event::FrameSent { .. } => "frame_sent",
             Event::FrameReceived { .. } => "frame_received",
             Event::MetricSample { .. } => "metric_sample",
+            Event::SybilCollision { .. } => "sybil_collision",
+            Event::FalseReport { .. } => "false_report",
+            Event::WhitewashRejoin { .. } => "whitewash_rejoin",
         }
     }
 }
@@ -457,6 +496,28 @@ mod tests {
         let e = Event::CtrlDropped { from: 1, to: 2 };
         let s = serde_json::to_string(&e).unwrap();
         assert!(s.contains(&format!("\"type\":\"{}\"", e.kind())), "{s}");
+    }
+
+    #[test]
+    fn adversary_events_roundtrip() {
+        let events = [
+            Event::SybilCollision { donor: 1, requestor: 8, payee: 9, piece: 3 },
+            Event::FalseReport { txn: 77, reporter: 9, donor: 1, requestor: 8, piece: 3 },
+            Event::WhitewashRejoin { peer: 12, prior: 8, generation: 2 },
+        ];
+        assert_eq!(events[0].kind(), "sybil_collision");
+        assert_eq!(events[1].kind(), "false_report");
+        assert_eq!(events[2].kind(), "whitewash_rejoin");
+        if !crate::serde_backend_is_real() {
+            return;
+        }
+        for e in events {
+            let r = TraceRecord::plain(1.0, 0, e);
+            let s = serde_json::to_string(&r).unwrap();
+            assert!(s.contains(&format!("\"type\":\"{}\"", r.event.kind())), "{s}");
+            let back: TraceRecord = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, r);
+        }
     }
 
     #[test]

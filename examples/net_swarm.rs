@@ -13,7 +13,7 @@
 use tchain_net::{run_swarm, SwarmConfig};
 
 fn main() {
-    let cfg = SwarmConfig { peers: 8, free_riders: 1, seed: 0xCAFE, ..SwarmConfig::default() };
+    let cfg = SwarmConfig { peers: 8, seed: 0xCAFE, ..SwarmConfig::default() }.with_free_riders(1);
     let report = run_swarm(cfg).expect("mesh transport");
 
     println!(

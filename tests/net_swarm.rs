@@ -43,7 +43,7 @@ fn same_seed_runs_are_bit_identical() {
 
 #[test]
 fn free_riders_starve_at_scale() {
-    let cfg = SwarmConfig { free_riders: 2, ..base16() };
+    let cfg = base16().with_free_riders(2);
     let report = run_swarm(cfg).expect("run");
     assert!(report.ok(), "violations: {:?}", report.violations);
     assert_eq!(report.completed_free_riders, 0, "free-riders never assemble the file");
@@ -71,7 +71,7 @@ fn departure_escrow_holds_at_scale() {
 /// [0.25, 4.0] (documented in DESIGN.md §8).
 #[test]
 fn net_runtime_agrees_with_fluid_simulator() {
-    let net = run_swarm(SwarmConfig { free_riders: 2, ..base16() }).expect("run");
+    let net = run_swarm(base16().with_free_riders(2)).expect("run");
     assert!(net.ok(), "violations: {:?}", net.violations);
 
     let file = FileSpec::custom(net.pieces, 64.0 * 1024.0, 64.0 * 1024.0);
