@@ -1,0 +1,72 @@
+//! PCT schedule exploration over the executable peer runtime
+//! (`tchain-net`): a budgeted interleaving search across the
+//! chaos × churn × attack scenario grid, with delta-debug shrinking of
+//! any failing schedule to a replayable witness under `results/`.
+//! `--quick` / `--paper` flags or `TCHAIN_SCALE=quick|paper`; `--seed N`
+//! reruns at a different master seed (the CI job uses two);
+//! `--budget N` overrides the per-scenario PCT run budget.
+//!
+//! Exits nonzero if any scenario misses this build's expectation:
+//! normally that is *zero* oracle violations plus bit-identical
+//! schedule replay; under `RUSTFLAGS="--cfg tchain_canary"` (the
+//! mutation drill) the crash scenario must instead FIND the seeded
+//! restore() ledger bug and shrink its witness to ≤ 50 choices.
+fn main() {
+    tchain_experiments::parse_jobs_args();
+    let mut scale = tchain_experiments::Scale::from_env();
+    let mut seed = 0xE5B0u64;
+    let mut budget = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = tchain_experiments::Scale::Quick,
+            "--paper" => scale = tchain_experiments::Scale::Paper,
+            "--seed" => {
+                if let Some(v) = args.next() {
+                    seed = parse_num(&v, "--seed");
+                }
+            }
+            "--budget" => {
+                if let Some(v) = args.next() {
+                    budget = Some(parse_num(&v, "--budget") as u32);
+                }
+            }
+            _ => {}
+        }
+    }
+    let canary = tchain_net::canary_armed();
+    println!(
+        "[net_explore | scale: {} | seed: {seed:#x}{}]",
+        scale.name(),
+        if canary { " | CANARY DRILL" } else { "" }
+    );
+    let doc = tchain_experiments::figures::net_explore::run_with_budget(scale, seed, budget);
+    if !doc.all_safe {
+        if canary {
+            eprintln!(
+                "net_explore: CANARY DRILL FAILED — the seeded restore() ledger bug was \
+                 not found and shrunk within budget"
+            );
+        } else {
+            eprintln!("net_explore: ORACLE VIOLATION — see table above and results/ witnesses");
+        }
+        std::process::exit(1);
+    }
+    if canary {
+        println!("net_explore: canary drill passed — the seeded bug was found and shrunk");
+    }
+}
+
+fn parse_num(v: &str, flag: &str) -> u64 {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    match parsed {
+        Ok(s) => s,
+        Err(_) => {
+            eprintln!("net_explore: bad {flag} {v:?}, expected a u64");
+            std::process::exit(2);
+        }
+    }
+}

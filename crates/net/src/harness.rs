@@ -26,6 +26,7 @@
 use crate::content::{fingerprint, mix64, Content};
 use crate::frame::{CausalMeta, Frame, FrameError};
 use crate::runtime::{Checkpoint, NetConfig, Outbox, PeerCounters, PeerRole, PeerRuntime};
+pub use crate::sched::SchedMode;
 use crate::sched::TimerWheel;
 use crate::strategy::{
     strategy_label, AttackerState, ColluderRegistry, NetStrategy, Strategy, RECHOKE_PERIOD,
@@ -37,35 +38,15 @@ use crate::transport::{
 };
 use std::collections::{BTreeMap, BTreeSet};
 use tchain_obs::{
-    trace_event, ChaosKind, Event, MetricName, RejectKind, TraceRecord, Tracer, WireMsg,
+    trace_event, ChaosKind, Event, MetricName, OracleKind, RejectKind, TraceRecord, Tracer,
+    WireMsg,
 };
 use tchain_proto::{NeighborPolicy, Tracker};
 use tchain_proto::wire::Message;
 use tchain_sim::{
-    ChaosAction, ChaosPlan, ChaosState, ChurnPlan, ChurnState, FaultPlan, FrameMutation, NodeId,
-    SimRng,
+    Act, ChaosAction, ChaosPlan, ChaosState, ChurnPlan, ChurnState, ExplorePlan, FaultPlan,
+    FrameMutation, NodeId, SchedPerturber, Schedule, SimRng,
 };
-
-/// Which per-tick peer scheduler the harness runs.
-///
-/// [`SchedMode::Indexed`] is the production scheduler: a
-/// [`TimerWheel`]-armed ready set visits only the peers with due timers
-/// or freshly delivered frames, so a mostly-idle 256-peer swarm costs
-/// O(active) per tick instead of O(N). [`SchedMode::LegacyLinear`] is
-/// the original every-peer scan, kept as the parity oracle: the
-/// scale-equivalence test in `tests/net_swarm.rs` pins the two modes to
-/// the identical delivered-frame fingerprint (the quiescence invariant
-/// documented on [`PeerRuntime::next_wake`] is what makes that hold),
-/// and the oracle stays until that proof ages out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SchedMode {
-    /// Timer-wheel + ready-set scheduler (default).
-    #[default]
-    Indexed,
-    /// Original O(N)-per-tick scan over every peer. Parity oracle for
-    /// equivalence tests and the scale bench's baseline leg.
-    LegacyLinear,
-}
 
 /// Scenario parameters for one swarm run.
 #[derive(Debug, Clone)]
@@ -94,8 +75,15 @@ pub struct SwarmConfig {
     /// Membership churn schedule: staggered joins, flash crowds and
     /// voluntary §II-B4 departures. Composes with `plan` and `chaos`.
     pub churn: ChurnPlan,
-    /// Peer scheduler (indexed timer wheel vs legacy linear scan).
+    /// Peer scheduler (indexed timer wheel vs legacy linear scan vs
+    /// perturbed exploration).
     pub sched: SchedMode,
+    /// Perturbation plan for [`SchedMode::Explore`]: PCT priority
+    /// sampling or bit-exact replay of a recorded [`Schedule`]. `None`
+    /// under `Explore` degenerates to the empty replay — the default
+    /// indexed interleaving, fingerprint and all. Ignored by the other
+    /// modes.
+    pub explore: Option<ExplorePlan>,
     /// Virtual seconds per tick (mesh transport).
     pub tick_dt: f64,
     /// Hard stop if the swarm has not drained by then.
@@ -122,6 +110,7 @@ impl Default for SwarmConfig {
             chaos: ChaosPlan::none(),
             churn: ChurnPlan::none(),
             sched: SchedMode::Indexed,
+            explore: None,
             tick_dt: 1.0,
             max_ticks: 4000,
             trace_capacity: 4096,
@@ -177,6 +166,13 @@ struct ChainObs {
 pub struct Observer {
     /// `(donor, requestor, piece) -> state`.
     txns: BTreeMap<(u32, u32, u32), TxnObs>,
+    /// Triples whose *earlier generation* was reported before a re-upload
+    /// replaced the entry. When a key release is lost in flight, the
+    /// requestor re-requests and the donor opens a fresh txn for the same
+    /// triple — but the donor's retry timer may still re-send the old
+    /// generation's key, which is backed by the delivered report of that
+    /// generation and must not audit against the new, unreported one.
+    reported_generations: BTreeSet<(u32, u32, u32)>,
     /// `(donor, piece, requestor)` reciprocations seen on the wire.
     recips: BTreeMap<(u32, u32), Vec<u32>>,
     /// Peers that left the swarm. A report delivered to a departed donor
@@ -229,6 +225,15 @@ pub struct Observer {
 
 impl Observer {
     fn observe(&mut self, d: &Delivery, tracer: &mut Tracer, now: f64) {
+        // A chaos-fabricated duplicate is wire noise, not a sender action:
+        // auditing the second copy would re-register live transactions
+        // (erasing `reported` and flagging the donor's later, legal key
+        // release) and double-count protocol events. The schedule
+        // explorer found exactly that phantom; receivers still process
+        // the copy — only the audit skips it.
+        if d.duplicated {
+            return;
+        }
         let (from, to) = (d.from.0, d.to.0);
         let Frame::Control(msg) = &d.frame else { return };
         match msg {
@@ -285,6 +290,16 @@ impl Observer {
                                     piece: p,
                                 });
                             }
+                        }
+                        // A re-upload of the same triple is a genuinely
+                        // new transaction (retry after loss or stall,
+                        // with a freshly designated payee) and replaces
+                        // the audit entry; chaos-fabricated duplicates
+                        // never reach this point. If the superseded
+                        // generation was already reported, remember it —
+                        // its key may still be retried legally.
+                        if self.txns.get(&(from, to, p)).is_some_and(|t| t.reported) {
+                            self.reported_generations.insert((from, to, p));
                         }
                         self.txns.insert(
                             (from, to, p),
@@ -416,21 +431,27 @@ impl Observer {
     ) -> Option<bool> {
         match requestor {
             // Rule 1: the release closes a reported txn (from -> to).
-            None => match self.txns.get_mut(&(from, to, piece)) {
-                Some(t) if t.reported => {
-                    // A falsely-reported txn still releases "legally":
-                    // the donor acted in good faith on a payee-signed
-                    // report. The audit books the extraction instead —
-                    // once per txn, so duplicate releases of the same
-                    // key never inflate the gain.
-                    if t.false_report && !t.gain_booked {
-                        t.gain_booked = true;
-                        self.colluder_gain += 1;
+            None => {
+                if let Some(t) = self.txns.get_mut(&(from, to, piece)) {
+                    if t.reported {
+                        // A falsely-reported txn still releases "legally":
+                        // the donor acted in good faith on a payee-signed
+                        // report. The audit books the extraction instead —
+                        // once per txn, so duplicate releases of the same
+                        // key never inflate the gain.
+                        if t.false_report && !t.gain_booked {
+                            t.gain_booked = true;
+                            self.colluder_gain += 1;
+                        }
+                        return Some(false);
                     }
-                    Some(false)
                 }
-                _ => None,
-            },
+                // A late retry of a superseded generation's key: that
+                // generation's report was delivered before a re-upload
+                // replaced the txn entry, so the release is still backed
+                // by observed reciprocation.
+                self.reported_generations.contains(&(from, to, piece)).then_some(false)
+            }
             // Rule 2: a departing donor hands the key of its unreported
             // txn `(from -> r, piece)` to that txn's payee `to`.
             Some(r) if r != to => {
@@ -860,6 +881,19 @@ pub struct SwarmReport {
     /// Flight-recorder captures (violation / quarantine / crash), in
     /// trigger order; empty when telemetry is off or nothing fired.
     pub flight_dumps: Vec<FlightDump>,
+    /// The effective schedule of an explore-mode run: every
+    /// non-default scheduling action actually applied, replayable
+    /// bit-for-bit via [`tchain_sim::ExplorePlan::Replay`]. `None`
+    /// outside [`SchedMode::Explore`].
+    pub schedule: Option<Schedule>,
+    /// Scheduling decision points consumed by an explore-mode run
+    /// (default decisions included); 0 outside explore mode.
+    pub sched_decisions: u64,
+    /// End-of-run safety oracles that failed, in a fixed order; empty
+    /// on a clean run. Superset view: `ok()` covers key-release,
+    /// plaintext and completion — this list adds the ledger and
+    /// quarantine-evidence oracles.
+    pub failed_oracles: Vec<OracleKind>,
 }
 
 impl SwarmReport {
@@ -938,6 +972,9 @@ pub struct SwarmHarness<T: Transport> {
     /// received frames this tick and must run `on_tick` regardless.
     wheel: TimerWheel,
     ready: BTreeSet<u32>,
+    /// Scheduling decision stream for [`SchedMode::Explore`]; `None`
+    /// in the other modes, so they make zero extra work per tick.
+    perturb: Option<SchedPerturber>,
     /// Expanded churn schedule; `None` when the plan is empty, so a
     /// churn-free run makes zero extra RNG draws and keeps its
     /// pre-churn fingerprint.
@@ -1044,6 +1081,12 @@ impl<T: Transport> SwarmHarness<T> {
             TelemetryState::new(if cfg.trace_capacity > 0 { cfg.trace_capacity } else { 4096 })
         });
         let churn = (!cfg.churn.is_none()).then(|| ChurnState::new(&cfg.churn));
+        // Explore mode without a plan is the empty replay: every
+        // decision defaults, reproducing the indexed interleaving.
+        let perturb = (cfg.sched == SchedMode::Explore).then(|| match &cfg.explore {
+            Some(plan) => SchedPerturber::new(plan),
+            None => SchedPerturber::new(&ExplorePlan::Replay(Schedule::default())),
+        });
         let next_id = cfg.peers;
         Ok(SwarmHarness {
             transport,
@@ -1064,6 +1107,7 @@ impl<T: Transport> SwarmHarness<T> {
             telemetry,
             wheel: TimerWheel::new(),
             ready: BTreeSet::new(),
+            perturb,
             churn,
             next_id,
             churn_joined: 0,
@@ -1095,7 +1139,7 @@ impl<T: Transport> SwarmHarness<T> {
             staged.extend(out.into_iter().map(|(to, f)| (NodeId(id), to, f)));
         }
         self.flush(staged)?;
-        if self.cfg.sched == SchedMode::Indexed {
+        if self.cfg.sched != SchedMode::LegacyLinear {
             for &id in &ids {
                 self.wheel.schedule(id, 0.0);
             }
@@ -1167,7 +1211,7 @@ impl<T: Transport> SwarmHarness<T> {
                         staged.extend(out.into_iter().map(|(to, f)| (NodeId(id), to, f)));
                     }
                 }
-                SchedMode::Indexed => {
+                SchedMode::Indexed | SchedMode::Explore => {
                     // Union of due timers and frame receivers, visited
                     // in ascending id order — the same order the legacy
                     // scan used; every skipped peer is quiescent (see
@@ -1175,39 +1219,55 @@ impl<T: Transport> SwarmHarness<T> {
                     // matches the full scan's bit for bit.
                     let mut due = std::mem::take(&mut self.ready);
                     self.wheel.pop_due(now, &mut due);
-                    for id in due {
-                        let Some(peer) = self.peers.get_mut(&id) else {
-                            self.wheel.cancel(id);
-                            continue;
-                        };
-                        let mut out: Outbox = Vec::new();
-                        peer.on_tick(now, &mut out);
-                        // Re-arm. Output means the peer is mid-burst:
-                        // tick it again next round, like the legacy
-                        // scan. Quiet peers park on their earliest
-                        // timer deadline, or disarm entirely until a
-                        // frame arrives. `now` (not now + dt) marks
-                        // "next transport poll" on wall-clock backends
-                        // too — it pops on the following tick either
-                        // way, since this tick's pop already ran.
-                        if out.is_empty() {
-                            match peer.next_wake() {
-                                Some(w) if w > now => self.wheel.schedule(id, w),
-                                Some(_) => self.wheel.schedule(id, now),
-                                None => self.wheel.cancel(id),
-                            }
-                        } else {
-                            self.wheel.schedule(id, now);
-                            staged.extend(out.into_iter().map(|(to, f)| (NodeId(id), to, f)));
+                    if self.perturb.is_none() {
+                        for id in due {
+                            self.tick_peer(id, now, &mut staged, &mut woke);
                         }
-                        woke.insert(id);
+                    } else {
+                        // Explore: the run-order decision point goes
+                        // through the perturber. `Pick(0)` at every
+                        // step reproduces the loop above exactly.
+                        let mut pending: Vec<u32> = due.into_iter().collect();
+                        while !pending.is_empty() {
+                            let p = self.perturb.as_mut().expect("explore mode");
+                            let step = p.step();
+                            let arity = pending.len() as u32;
+                            match p.decide(&pending) {
+                                Act::Defer => {
+                                    trace_event!(self.tracer, now, Event::ScheduleChoice {
+                                        step,
+                                        arity,
+                                        pick: u32::MAX,
+                                    });
+                                    // Punt the whole due set a tick:
+                                    // the ready set re-runs them on
+                                    // the next transport poll.
+                                    for id in pending.drain(..) {
+                                        self.ready.insert(id);
+                                    }
+                                }
+                                Act::Pick(i) => {
+                                    if i != 0 {
+                                        trace_event!(self.tracer, now, Event::ScheduleChoice {
+                                            step,
+                                            arity,
+                                            pick: i,
+                                        });
+                                    }
+                                    let id = pending.remove(i as usize);
+                                    self.tick_peer(id, now, &mut staged, &mut woke);
+                                }
+                            }
+                        }
                     }
                 }
             }
             self.flush(staged)?;
             self.handle_churn(now, &mut woke)?;
             match self.cfg.sched {
-                SchedMode::Indexed => self.handle_departures(now, Some(&woke)),
+                SchedMode::Indexed | SchedMode::Explore => {
+                    self.handle_departures(now, Some(&woke))
+                }
                 SchedMode::LegacyLinear => self.handle_departures(now, None),
             }
             self.handle_chaos_records(now);
@@ -1279,6 +1339,49 @@ impl<T: Transport> SwarmHarness<T> {
                 }
             }
         }
+        // Safety-oracle sweep: the invariant set the schedule explorer
+        // searches against, audited on *every* run (any mode). Each
+        // failure lands in the trace and trips the flight recorder, so
+        // a violating interleaving carries its causal context out.
+        let ledger_ok = self
+            .peers
+            .values()
+            .filter(|p| !p.departed())
+            .all(PeerRuntime::ledger_consistent);
+        let frame_rejects: u64 = peer_counters.iter().map(|(_, c)| c.frame_rejects).sum();
+        let quarantines: u64 = peer_counters.iter().map(|(_, c)| c.quarantines).sum();
+        let mut failed_oracles = Vec::new();
+        if !self.observer.violations.is_empty() {
+            failed_oracles.push(OracleKind::KeyRelease);
+        }
+        if !ledger_ok {
+            failed_oracles.push(OracleKind::Ledger);
+        }
+        if !plaintext_ok {
+            failed_oracles.push(OracleKind::Plaintext);
+        }
+        if completed_compliant != total_compliant {
+            failed_oracles.push(OracleKind::Completion);
+        }
+        if quarantines > 0 && frame_rejects == 0 {
+            failed_oracles.push(OracleKind::Quarantine);
+        }
+        {
+            let now = self.transport.now();
+            for &oracle in &failed_oracles {
+                trace_event!(self.tracer, now, Event::OracleViolation { oracle });
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.flight("oracle", now);
+                }
+            }
+        }
+        let (schedule, sched_decisions) = match self.perturb.take() {
+            Some(p) => {
+                let decisions = p.decisions();
+                (Some(p.into_schedule()), decisions)
+            }
+            None => (None, 0),
+        };
         let (telemetry, peer_rings, flight_dumps) = match self.telemetry.take() {
             Some(tel) => {
                 let now = self.transport.now();
@@ -1321,8 +1424,8 @@ impl<T: Transport> SwarmHarness<T> {
             key_releases: self.observer.key_releases,
             escrow_transfers: self.observer.escrow_transfers,
             chaos_injects: self.chaos_injects,
-            frame_rejects: peer_counters.iter().map(|(_, c)| c.frame_rejects).sum(),
-            quarantines: peer_counters.iter().map(|(_, c)| c.quarantines).sum(),
+            frame_rejects,
+            quarantines,
             crashes: self.crashes,
             rejoins: self.rejoins,
             churn_joins: self.churn_joined,
@@ -1338,11 +1441,7 @@ impl<T: Transport> SwarmHarness<T> {
             sybil_collisions: self.observer.sybil_collisions,
             whitewash_rejoins: self.attack.as_ref().map_or(0, |a| a.whitewash_rejoins),
             tracker_queries: self.tracker.queries(),
-            ledger_ok: self
-                .peers
-                .values()
-                .filter(|p| !p.departed())
-                .all(PeerRuntime::ledger_consistent),
+            ledger_ok,
             transport: self.transport.stats(),
             fingerprint: self.fingerprint,
             events_recorded: self.tracer.emitted(),
@@ -1351,7 +1450,45 @@ impl<T: Transport> SwarmHarness<T> {
             telemetry,
             peer_rings,
             flight_dumps,
+            schedule,
+            sched_decisions,
+            failed_oracles,
         })
+    }
+
+    /// Runs one due peer's `on_tick` and re-arms it — the body of the
+    /// indexed scheduler's visit, shared verbatim by explore mode so a
+    /// perturbed run differs from production only in visit *order*.
+    fn tick_peer(
+        &mut self,
+        id: u32,
+        now: f64,
+        staged: &mut Vec<(NodeId, NodeId, Frame)>,
+        woke: &mut BTreeSet<u32>,
+    ) {
+        let Some(peer) = self.peers.get_mut(&id) else {
+            self.wheel.cancel(id);
+            return;
+        };
+        let mut out: Outbox = Vec::new();
+        peer.on_tick(now, &mut out);
+        // Re-arm. Output means the peer is mid-burst: tick it again
+        // next round, like the legacy scan. Quiet peers park on their
+        // earliest timer deadline, or disarm entirely until a frame
+        // arrives. `now` (not now + dt) marks "next transport poll" on
+        // wall-clock backends too — it pops on the following tick
+        // either way, since this tick's pop already ran.
+        if out.is_empty() {
+            match peer.next_wake() {
+                Some(w) if w > now => self.wheel.schedule(id, w),
+                Some(_) => self.wheel.schedule(id, now),
+                None => self.wheel.cancel(id),
+            }
+        } else {
+            self.wheel.schedule(id, now);
+            staged.extend(out.into_iter().map(|(to, f)| (NodeId(id), to, f)));
+        }
+        woke.insert(id);
     }
 
     fn flush(&mut self, staged: Vec<(NodeId, NodeId, Frame)>) -> Result<(), NetError> {
@@ -1400,7 +1537,7 @@ impl<T: Transport> SwarmHarness<T> {
             self.peers.insert(id, peer);
             self.flush(staged)?;
             self.churn_joined += 1;
-            if self.cfg.sched == SchedMode::Indexed {
+            if self.cfg.sched != SchedMode::LegacyLinear {
                 self.wheel.schedule(id, now);
             }
         }

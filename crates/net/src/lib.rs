@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod content;
+pub mod explore;
 mod frame;
 mod harness;
 mod runtime;
@@ -41,6 +42,9 @@ pub mod telemetry;
 mod transport;
 
 pub use content::{fingerprint, Content};
+pub use explore::{
+    canary_armed, scenario_config, scenarios, ExploreConfig, ExploreOutcome, Witness,
+};
 pub use frame::{
     frame_checksum, CausalMeta, Frame, FrameDecoder, FrameError, CAUSAL_META_LEN,
     FRAME_HEADER_LEN, MAX_FRAME_BODY,

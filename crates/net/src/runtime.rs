@@ -1408,7 +1408,17 @@ impl PeerRuntime {
             // and the stall sweep only touches live txns). The ledger
             // restarts at zero with the transactions it tracks; the
             // checkpoint still carries the counts for post-mortems.
+            //
+            // `tchain_canary` deliberately resurrects the pre-fix
+            // behaviour (checkpointed counts reloaded wholesale) as a
+            // seeded mutation: the schedule-exploration engine must
+            // find this `ledger_consistent` break and shrink it, or
+            // its oracle set has no teeth. Never enable outside the
+            // explore drill.
+            #[cfg(not(tchain_canary))]
             ledger: BTreeMap::new(),
+            #[cfg(tchain_canary)]
+            ledger: cp.ledger.iter().copied().collect(),
             pending_in: BTreeMap::new(),
             obligations: Vec::new(),
             retries: Vec::new(),

@@ -19,6 +19,37 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
+/// Which per-tick peer scheduler the harness runs.
+///
+/// [`SchedMode::Indexed`] is the production scheduler: a
+/// [`TimerWheel`]-armed ready set visits only the peers with due timers
+/// or freshly delivered frames, so a mostly-idle 256-peer swarm costs
+/// O(active) per tick instead of O(N). [`SchedMode::LegacyLinear`] is
+/// the original every-peer scan, kept as the parity oracle: the
+/// scale-equivalence test in `tests/net_swarm.rs` pins the two modes to
+/// the identical delivered-frame fingerprint (the quiescence invariant
+/// documented on `PeerRuntime::next_wake` is what makes that hold), and
+/// the oracle stays until that proof ages out. [`SchedMode::Explore`]
+/// is the indexed scheduler with its one decision point — which due
+/// peer runs next — handed to a `tchain-sim` [`SchedPerturber`]: PCT
+/// priority sampling or bit-exact schedule replay (see
+/// `crate::explore`). With no perturbation plan it is the indexed
+/// scheduler, fingerprint and all.
+///
+/// [`SchedPerturber`]: tchain_sim::SchedPerturber
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Timer-wheel + ready-set scheduler (default).
+    #[default]
+    Indexed,
+    /// Original O(N)-per-tick scan over every peer. Parity oracle for
+    /// equivalence tests and the scale bench's baseline leg.
+    LegacyLinear,
+    /// Indexed scheduler with the run-order decision point perturbed
+    /// (PCT sampling) or replayed from a recorded schedule.
+    Explore,
+}
+
 /// One pending wake-up: `peer` wants to run at time `at`.
 ///
 /// `seq` is a global insertion counter. It never decides *which* peers

@@ -346,7 +346,7 @@ impl Transport for TcpLoopback {
                 }
                 self.stats.delivered += 1;
                 self.stats.bytes_delivered += frame.encoded_len() as u64;
-                out.push(Delivery { from: NodeId(from), to: NodeId(owner), frame, meta });
+                out.push(Delivery { from: NodeId(from), to: NodeId(owner), frame, meta, duplicated: false });
             }
             if link_dead {
                 dead_in.push((owner, from));

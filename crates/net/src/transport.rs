@@ -39,6 +39,14 @@ pub struct Delivery {
     /// the harness fingerprint — folding uses the bare frame encoding —
     /// so enabling telemetry cannot change a run's identity.
     pub meta: Option<CausalMeta>,
+    /// Ground truth from the chaos layer: this delivery is the fabricated
+    /// second copy of a duplicated frame, not an action the sender took.
+    /// Receivers must ignore it (to them a duplicate is indistinguishable
+    /// from a retransmission); the god's-eye observer uses it to keep
+    /// chaos noise out of the protocol audit. `TcpLoopback` cannot mark
+    /// copies (duplicates ride the real byte stream) and always reports
+    /// `false`.
+    pub duplicated: bool,
 }
 
 /// Errors surfaced by a transport backend.
@@ -327,7 +335,7 @@ impl ChannelMesh {
     /// same-seed schedules match with telemetry on or off.
     fn dispatch(&mut self, at: f64, from: NodeId, to: NodeId, frame: Frame, meta: Option<CausalMeta>) {
         if !self.chaos.active() {
-            self.enqueue(at, Queued::Deliver(Delivery { from, to, frame, meta }));
+            self.enqueue(at, Queued::Deliver(Delivery { from, to, frame, meta, duplicated: false }));
             return;
         }
         let action = self.chaos.action(frame.encoded_len());
@@ -336,7 +344,7 @@ impl ChannelMesh {
         }
         match action {
             ChaosAction::Deliver => {
-                self.enqueue(at, Queued::Deliver(Delivery { from, to, frame, meta }));
+                self.enqueue(at, Queued::Deliver(Delivery { from, to, frame, meta, duplicated: false }));
             }
             ChaosAction::Corrupt(mutation) => {
                 // Mutation targets the bare wire image; any meta stamp is
@@ -351,7 +359,7 @@ impl ChannelMesh {
                         // collision is theoretically survivable).
                         self.enqueue(
                             at,
-                            Queued::Deliver(Delivery { from, to, frame: f, meta: None }),
+                            Queued::Deliver(Delivery { from, to, frame: f, meta: None, duplicated: false }),
                         );
                     }
                     Redecode::Nothing => {
@@ -368,13 +376,16 @@ impl ChannelMesh {
             ChaosAction::Duplicate => {
                 self.enqueue(
                     at,
-                    Queued::Deliver(Delivery { from, to, frame: frame.clone(), meta }),
+                    Queued::Deliver(Delivery { from, to, frame: frame.clone(), meta, duplicated: false }),
                 );
-                self.enqueue(at, Queued::Deliver(Delivery { from, to, frame, meta }));
+                self.enqueue(
+                    at,
+                    Queued::Deliver(Delivery { from, to, frame, meta, duplicated: true }),
+                );
             }
             ChaosAction::Reorder => {
                 let held = at + self.chaos.reorder_delay();
-                self.enqueue_reordered(held, Queued::Deliver(Delivery { from, to, frame, meta }));
+                self.enqueue_reordered(held, Queued::Deliver(Delivery { from, to, frame, meta, duplicated: false }));
             }
             ChaosAction::Reset => {
                 // The stream dies mid-frame: the bytes never arrive, the

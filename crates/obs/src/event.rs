@@ -110,6 +110,43 @@ impl MetricName {
     }
 }
 
+/// Which end-of-run safety oracle a schedule-exploration run failed.
+///
+/// The set mirrors the invariants the harness audits every run: the
+/// Observer's key-release legality, §II-D2 ledger conservation, piece
+/// plaintext integrity, §II-B4 escrow-backed completion, and the strike
+/// policy's quarantine/reject coupling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum OracleKind {
+    /// A key release travelled without a reciprocation behind it.
+    KeyRelease,
+    /// A surviving peer's §II-D2 sent/received ledger went inconsistent.
+    Ledger,
+    /// An assembled piece did not match the source bytes.
+    Plaintext,
+    /// A compliant leecher the scenario owed a completed file never got
+    /// one (escrow survival / liveness-within-budget).
+    Completion,
+    /// Quarantines were imposed with zero frame rejects on record — a
+    /// strike policy firing without evidence.
+    Quarantine,
+}
+
+impl OracleKind {
+    /// Stable snake_case name (the serialized form, also the witness
+    /// file vocabulary).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OracleKind::KeyRelease => "key_release",
+            OracleKind::Ledger => "ledger",
+            OracleKind::Plaintext => "plaintext",
+            OracleKind::Completion => "completion",
+            OracleKind::Quarantine => "quarantine",
+        }
+    }
+}
+
 /// Why a receiver rejected a frame or stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
@@ -389,6 +426,26 @@ pub enum Event {
         /// Restart generation of the fresh incarnation.
         generation: u32,
     },
+    /// The explore-mode scheduler took a non-default action at a
+    /// decision point (default = run the lowest-id due peer). The
+    /// recorded stream of these choices *is* the replayable schedule.
+    ScheduleChoice {
+        /// Global decision index within the run (counts every decision,
+        /// default or not).
+        step: u64,
+        /// Runnable candidates at the decision point.
+        arity: u32,
+        /// Index picked into the ascending-id candidate list;
+        /// `u32::MAX` means the whole due set was deferred a tick.
+        pick: u32,
+    },
+    /// An end-of-run safety oracle failed. Emitted once per failed
+    /// oracle before the report is sealed, so traces and the flight
+    /// recorder capture the violation in causal context.
+    OracleViolation {
+        /// Which oracle failed.
+        oracle: OracleKind,
+    },
 }
 
 impl Event {
@@ -424,6 +481,8 @@ impl Event {
             Event::SybilCollision { .. } => "sybil_collision",
             Event::FalseReport { .. } => "false_report",
             Event::WhitewashRejoin { .. } => "whitewash_rejoin",
+            Event::ScheduleChoice { .. } => "schedule_choice",
+            Event::OracleViolation { .. } => "oracle_violation",
         }
     }
 }

@@ -35,7 +35,8 @@ mod ring;
 mod tracer;
 
 pub use event::{
-    ChaosKind, EndCause, Event, MetricName, RejectKind, RetryMsg, TraceRecord, WireMsg,
+    ChaosKind, EndCause, Event, MetricName, OracleKind, RejectKind, RetryMsg, TraceRecord,
+    WireMsg,
 };
 pub use export::{
     merge_traces, to_causal_chrome_trace, to_chrome_trace, to_jsonl, validate_causal,

@@ -43,6 +43,7 @@ pub mod churn;
 mod clock;
 pub mod fault;
 mod flow;
+pub mod perturb;
 mod queue;
 mod rng;
 mod units;
@@ -52,6 +53,7 @@ pub use churn::{ChurnEvent, ChurnPlan, ChurnState, ChurnStats};
 pub use clock::{Clock, Periodic};
 pub use fault::{CrashSpec, FaultPlan, FaultState, FaultStats, LatencyModel, Partition, Route};
 pub use flow::{Flow, FlowId, FlowScheduler, FlowStats};
+pub use perturb::{Act, Choice, ExplorePlan, SchedPerturber, Schedule};
 pub use queue::DelayQueue;
 pub use rng::SimRng;
 pub use units::{kbps, kib, mib, BYTES_PER_KIB, BYTES_PER_MIB};

@@ -144,6 +144,26 @@ fn check_golden(name: &str, body: &str) {
     );
 }
 
+/// Pins the fixture set itself. Discovery is sorted by file name —
+/// `read_dir` order is filesystem-dependent, and a suite keyed off raw
+/// directory order would silently skip a fixture that a rename or a
+/// stray file pushed out of the expected slot. Asserting the exact list
+/// makes a dropped, added or misnamed fixture a loud failure.
+#[test]
+fn golden_fixture_list_is_exactly_the_committed_set() {
+    let dir = golden_path("");
+    let mut found: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    assert_eq!(
+        found,
+        ["fig03_flash_crowd.json", "table2_large_view_tchain.json"],
+        "tests/golden/ drifted from the pinned fixture list; update both together"
+    );
+}
+
 #[test]
 fn fig03_flash_crowd_cell_matches_fixture() {
     let plan = flash_plan(FIG03_SWARM, 0.0, RiderMode::Aggressive, FIG03_SEED);
